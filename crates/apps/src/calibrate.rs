@@ -1,0 +1,55 @@
+//! Compute-time calibration against the paper's Table 1.
+//!
+//! The paper's problem sizes and sequential times (the OCR of Table 1 is
+//! partly garbled; readings documented in DESIGN.md and pinned by the
+//! text's "each requiring approximately 2 minutes of sequential
+//! execution"):
+//!
+//! | App            | Size                            | Sequential time |
+//! |----------------|---------------------------------|-----------------|
+//! | LU             | 2048x2048, 32x32 blocks         | 128 s ("1,28")  |
+//! | SOR            | 2048x2048, 51 iterations        | 136 s ("1,36")  |
+//! | Water-Nsquared | 4096 molecules                  | 113 s ("1,13")  |
+//! | Water-Spatial  | 4096 molecules                  | 108 s ("1,8")   |
+//! | Raytrace       | balls4 (sphereflake-4), 256x256 | 95.6 s ("956")  |
+//!
+//! Per-unit compute costs are derived as `seq_time / unit_count` at paper
+//! sizes and stay fixed across problem scales, so scaled-down runs keep the
+//! same compute-to-communication cost ratios per unit of work.
+
+/// Sequential-time target (seconds) at the paper's LU problem size.
+pub const LU_SEQ_SECS: f64 = 128.0;
+/// Sequential-time target for SOR.
+pub const SOR_SEQ_SECS: f64 = 136.0;
+/// Sequential-time target for Water-Nsquared.
+pub const WATER_NSQ_SEQ_SECS: f64 = 113.0;
+/// Sequential-time target for Water-Spatial.
+pub const WATER_SP_SEQ_SECS: f64 = 108.0;
+/// Sequential-time target for Raytrace.
+pub const RAYTRACE_SEQ_SECS: f64 = 95.6;
+
+/// Nanoseconds per unit of work given a target time and unit count.
+pub fn ns_per_unit(seq_secs: f64, units: f64) -> f64 {
+    seq_secs * 1e9 / units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_scale_linearly() {
+        let a = ns_per_unit(100.0, 1e9);
+        assert!((a - 100.0).abs() < 1e-9);
+        assert!((ns_per_unit(100.0, 2e9) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lu_flop_rate_is_i860_plausible() {
+        // 2/3 n^3 flops at n=2048 in 128 s => ~45 Mflop/s peak-ish blocked
+        // code on the 50 MHz i860 (which was built for exactly this).
+        let flops = 2.0 / 3.0 * 2048f64.powi(3);
+        let ns = ns_per_unit(LU_SEQ_SECS, flops);
+        assert!(ns > 10.0 && ns < 100.0, "{ns} ns/flop");
+    }
+}

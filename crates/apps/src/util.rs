@@ -1,0 +1,106 @@
+//! Partitioning helpers shared by the workloads.
+
+/// The contiguous chunk of `n` items owned by `who` of `p` owners
+/// (remainder spread over the first chunks, Splash-2 style).
+pub fn chunk(n: usize, p: usize, who: usize) -> std::ops::Range<usize> {
+    let base = n / p;
+    let extra = n % p;
+    let start = who * base + who.min(extra);
+    let len = base + usize::from(who < extra);
+    start..start + len
+}
+
+/// The owner of item `i` under the contiguous [`chunk`] partition.
+pub fn chunk_owner(n: usize, p: usize, i: usize) -> usize {
+    debug_assert!(i < n);
+    (0..p)
+        .find(|&w| chunk(n, p, w).contains(&i))
+        .expect("item in range")
+}
+
+/// Split `p` into a near-square 2-D grid `(rows, cols)` with
+/// `rows * cols == p`.
+pub fn proc_grid(p: usize) -> (usize, usize) {
+    let mut rows = (p as f64).sqrt() as usize;
+    while rows > 1 && !p.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), p / rows.max(1))
+}
+
+/// Split `p` into a 3-D grid `(x, y, z)` with `x*y*z == p`, as cubical as
+/// possible.
+pub fn proc_grid3(p: usize) -> (usize, usize, usize) {
+    let mut best = (1, 1, p);
+    let mut best_score = usize::MAX;
+    for x in 1..=p {
+        if !p.is_multiple_of(x) {
+            continue;
+        }
+        let rest = p / x;
+        for y in 1..=rest {
+            if !rest.is_multiple_of(y) {
+                continue;
+            }
+            let z = rest / y;
+            let score = x.max(y).max(z) - x.min(y).min(z);
+            if score < best_score {
+                best_score = score;
+                best = (x, y, z);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_and_are_disjoint() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for p in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for who in 0..p {
+                    let r = chunk(n, p, who);
+                    assert_eq!(r.start, covered, "n={n} p={p} who={who}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_balanced() {
+        for who in 0..3 {
+            let r = chunk(10, 3, who);
+            assert!(r.len() == 3 || r.len() == 4);
+        }
+    }
+
+    #[test]
+    fn chunk_owner_inverts_chunk() {
+        for n in [10usize, 64, 100] {
+            for p in [1usize, 3, 7] {
+                for i in 0..n {
+                    let w = chunk_owner(n, p, i);
+                    assert!(chunk(n, p, w).contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grids_multiply_back() {
+        for p in 1..=64 {
+            let (r, c) = proc_grid(p);
+            assert_eq!(r * c, p);
+            let (x, y, z) = proc_grid3(p);
+            assert_eq!(x * y * z, p);
+        }
+        assert_eq!(proc_grid(64), (8, 8));
+        assert_eq!(proc_grid3(64), (4, 4, 4));
+    }
+}

@@ -1,0 +1,115 @@
+//! Wall-clock microbenchmarks of the protocol's software primitives — the
+//! real-hardware analogue of the paper's Table 3 software rows (twin copy,
+//! diff creation/application) plus the supporting machinery (vector-time
+//! operations, causal sorting).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+use svm_core::msg::DiffPacket;
+use svm_core::VectorTime;
+use svm_machine::NodeId;
+use svm_mem::{Diff, PageBuf};
+
+const PAGE: usize = 8192;
+
+fn dirty_page(words_dirty: usize) -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0x5Au8; PAGE];
+    let mut cur = twin.clone();
+    let step = (PAGE / 4) / words_dirty.max(1);
+    for w in 0..words_dirty {
+        let off = (w * step * 4) % (PAGE - 4);
+        cur[off..off + 4].copy_from_slice(&(w as u32).to_le_bytes());
+    }
+    (twin, cur)
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for dirty in [1usize, 64, 2048] {
+        let (twin, cur) = dirty_page(dirty);
+        g.bench_function(format!("create/{dirty}w"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)))
+        });
+        let d = Diff::create(&twin, &cur);
+        g.bench_function(format!("apply/{dirty}w"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut dst| d.apply(black_box(&mut dst)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    let (twin, cur) = dirty_page(128);
+    let a = Diff::create(&twin, &cur);
+    let b2 = Diff::create(&cur, &twin);
+    g.bench_function("merge/128w", |b| b.iter(|| a.merge(black_box(&b2), PAGE)));
+    g.finish();
+}
+
+fn bench_twin(c: &mut Criterion) {
+    let mut buf = PageBuf::new_zeroed(PAGE);
+    c.bench_function("twin_copy/8KB", |b| b.iter(|| black_box(buf.to_vec())));
+}
+
+fn bench_vt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_time");
+    for nodes in [8usize, 64] {
+        let mut a = VectorTime::zero(nodes);
+        let mut bb = VectorTime::zero(nodes);
+        for i in 0..nodes {
+            a.set(NodeId(i as u16), (i * 3) as u32);
+            bb.set(NodeId(i as u16), (i * 2 + 1) as u32);
+        }
+        g.bench_function(format!("merge/{nodes}"), |bch| {
+            bch.iter_batched(
+                || a.clone(),
+                |mut x| x.merge(black_box(&bb)),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("dominates/{nodes}"), |bch| {
+            bch.iter(|| black_box(&a).dominates(black_box(&bb)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_causal_sort(c: &mut Criterion) {
+    let make = |n: usize| -> Vec<DiffPacket> {
+        (0..n)
+            .map(|i| {
+                let mut vt = VectorTime::zero(8);
+                vt.set(NodeId((i % 8) as u16), (i / 8 + 1) as u32);
+                if i % 3 == 0 && i > 8 {
+                    vt.set(NodeId(((i + 1) % 8) as u16), (i / 16 + 1) as u32);
+                }
+                DiffPacket {
+                    writer: NodeId((i % 8) as u16),
+                    interval: (i / 8 + 1) as u32,
+                    vt,
+                    diff: Rc::new(Diff::default()),
+                }
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("causal_sort");
+    for n in [4usize, 16, 64] {
+        g.bench_function(format!("{n}_diffs"), |b| {
+            b.iter_batched(
+                || make(n),
+                |mut v| svm_core::protocol::fault::causal_sort(black_box(&mut v)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_diffs, bench_twin, bench_vt, bench_causal_sort
+}
+criterion_main!(benches);

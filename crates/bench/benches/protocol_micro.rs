@@ -1,0 +1,67 @@
+//! Protocol micro-scenarios: the *simulated* latency of the paper's basic
+//! transactions (page miss round trips, lock handoffs), measured end to end
+//! through the full stack, per protocol. Criterion measures our wall-clock
+//! cost of simulating them; the simulated times themselves are asserted
+//! against the paper's Section-4.3 minimums in `svm-core`'s tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use svm_core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
+
+/// One remote page miss: node 1 reads a page homed/owned by node 0.
+fn page_miss(protocol: ProtocolName) -> f64 {
+    let cfg = SvmConfig::new(protocol, 2);
+    let report = run(
+        &cfg,
+        |s| {
+            let a = s.alloc_array_pages::<u64>(1024, "page");
+            s.assign_home(&a, 0..1024, 0);
+            a
+        },
+        |ctx, a| {
+            if ctx.node() == 1 {
+                let _ = a.get(ctx, 0);
+            }
+            ctx.barrier(BarrierId(0));
+        },
+    );
+    report.secs()
+}
+
+/// A chain of lock handoffs between two nodes.
+fn lock_pingpong(protocol: ProtocolName) -> f64 {
+    let cfg = SvmConfig::new(protocol, 2);
+    let report = run(
+        &cfg,
+        |s| s.alloc_array::<u64>(1, "x"),
+        |ctx, x| {
+            for _ in 0..10 {
+                ctx.lock(LockId(0));
+                let v = x.get(ctx, 0);
+                x.set(ctx, 0, v + 1);
+                ctx.unlock(LockId(0));
+                ctx.compute_us(200);
+            }
+            ctx.barrier(BarrierId(0));
+        },
+    );
+    report.secs()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(20);
+    for protocol in ProtocolName::ALL {
+        g.bench_function(format!("page_miss/{protocol}"), |b| {
+            b.iter(|| black_box(page_miss(protocol)))
+        });
+        g.bench_function(format!("lock_pingpong/{protocol}"), |b| {
+            b.iter(|| black_box(lock_pingpong(protocol)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! The evaluation harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! Each `table*`/`fig*` binary runs the needed sweep and prints the rows
+//! the paper reports. Sweeps share [`run_sweep`] and the [`Options`]
+//! command line (`--scale`, `--nodes`, `--protocols`, `--paper`,
+//! `--apps`). Absolute numbers depend on the calibration (DESIGN.md §5);
+//! the *shapes* — who wins, by what factor, where crossovers fall — are
+//! the reproduction targets (EXPERIMENTS.md).
+
+use std::collections::BTreeMap;
+
+use svm_apps::{paper_suite, AppRun, Benchmark};
+use svm_core::{ProtocolName, SvmConfig};
+
+/// Command-line options shared by the generator binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Problem scale (1.0 = paper sizes).
+    pub scale: f64,
+    /// Node counts to sweep.
+    pub nodes: Vec<usize>,
+    /// Protocols to sweep.
+    pub protocols: Vec<ProtocolName>,
+    /// Workload name filter (empty = all five).
+    pub apps: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.25,
+            nodes: vec![8, 32, 64],
+            protocols: ProtocolName::ALL.to_vec(),
+            apps: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--scale X | --paper | --nodes a,b | --protocols A,B |
+    /// --apps x,y` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut o = Options::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => o.scale = 1.0,
+                "--scale" => {
+                    i += 1;
+                    o.scale = args[i].parse().expect("--scale takes a number");
+                }
+                "--nodes" => {
+                    i += 1;
+                    o.nodes = args[i]
+                        .split(',')
+                        .map(|s| s.parse().expect("--nodes takes a,b,c"))
+                        .collect();
+                }
+                "--protocols" => {
+                    i += 1;
+                    o.protocols = args[i]
+                        .split(',')
+                        .map(|s| match s.to_ascii_uppercase().as_str() {
+                            "LRC" => ProtocolName::Lrc,
+                            "OLRC" => ProtocolName::Olrc,
+                            "HLRC" => ProtocolName::Hlrc,
+                            "OHLRC" => ProtocolName::Ohlrc,
+                            "AURC" => ProtocolName::Aurc,
+                            other => panic!("unknown protocol {other}"),
+                        })
+                        .collect();
+                }
+                "--apps" => {
+                    i += 1;
+                    o.apps = args[i].split(',').map(|s| s.to_lowercase()).collect();
+                }
+                other => panic!(
+                    "unknown option {other} (try --scale/--paper/--nodes/--protocols/--apps)"
+                ),
+            }
+            i += 1;
+        }
+        o
+    }
+
+    /// The selected workloads at the selected scale.
+    pub fn suite(&self) -> Vec<Box<dyn Benchmark>> {
+        paper_suite(self.scale)
+            .into_iter()
+            .filter(|b| {
+                self.apps.is_empty()
+                    || self
+                        .apps
+                        .iter()
+                        .any(|a| b.name().to_lowercase().contains(a))
+            })
+            .collect()
+    }
+}
+
+/// One sweep cell.
+pub struct Record {
+    /// Workload name.
+    pub app: &'static str,
+    /// Calibrated sequential time for speedups.
+    pub seq_secs: f64,
+    /// Protocol.
+    pub protocol: ProtocolName,
+    /// Node count.
+    pub nodes: usize,
+    /// The run.
+    pub run: AppRun,
+}
+
+/// Run every (app x protocol x node-count) combination.
+pub fn run_sweep(opts: &Options) -> Vec<Record> {
+    let mut out = Vec::new();
+    for bench in opts.suite() {
+        let seq = bench.seq_secs();
+        for &nodes in &opts.nodes {
+            for &protocol in &opts.protocols {
+                eprintln!(
+                    "running {} under {protocol} on {nodes} nodes (scale {})...",
+                    bench.name(),
+                    opts.scale
+                );
+                let run = bench.run(&SvmConfig::new(protocol, nodes));
+                out.push(Record {
+                    app: bench.name(),
+                    seq_secs: seq,
+                    protocol,
+                    nodes,
+                    run,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Index records by `(app, nodes, protocol)`.
+pub fn index(records: &[Record]) -> BTreeMap<(&str, usize, &str), &Record> {
+    records
+        .iter()
+        .map(|r| ((r.app, r.nodes, r.protocol.label()), r))
+        .collect()
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w + 2))
+                .collect::<String>()
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Format a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}

@@ -1,0 +1,379 @@
+//! The application programming interface (paper Section 3.2).
+//!
+//! Programs see the Splash-2 model: globally shared memory allocated with
+//! `G_MALLOC` (here: [`crate::runner::Setup`]), and `LOCK` / `UNLOCK` /
+//! `BARRIER` synchronization. A program runs one [`SvmCtx`] per node.
+//!
+//! ## The access fast path
+//!
+//! Every shared read/write consults a node-local *mapping cache* (one slot
+//! per page: a raw pointer into the node's current page copy plus a
+//! writability bit). Hits touch memory directly — no simulation kernel round
+//! trip, mirroring how real SVM systems touch mapped pages at memory speed.
+//! Misses and permission upgrades issue a `Fault` request, which runs the
+//! full protocol with its modeled costs. The kernel revokes and downgrades
+//! cache entries when the protocol invalidates pages or closes intervals;
+//! the strict kernel/process alternation (see `svm-sim`) makes the shared
+//! cache sound.
+
+use svm_machine::{AppRequest, AppResponse};
+use svm_mem::{GAddr, Geometry};
+use svm_sim::process::ProcessPort;
+use svm_sim::{HandoffCell, SimDuration};
+
+use crate::msg::SvmReq;
+
+/// A lock identifier. Locks are created implicitly on first use; their
+/// managers are assigned round-robin by id (paper Section 3.5).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LockId(pub u32);
+
+/// A barrier identifier. All nodes must enter the same barriers in the same
+/// order (Splash-2 global barriers).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BarrierId(pub u32);
+
+/// One mapping-cache entry: where this node's copy of a page lives and
+/// whether it may be written.
+#[derive(Copy, Clone, Debug)]
+pub struct Mapping {
+    /// Pointer into the node's `PageBuf` for the page.
+    pub ptr: *mut u8,
+    /// Whether writes are currently permitted.
+    pub writable: bool,
+}
+
+/// The per-node mapping cache, shared between the application thread (fast
+/// path) and the protocol agent (installs, downgrades, revocations).
+pub struct NodeCache {
+    /// One slot per page of the shared address space.
+    pub slots: Vec<Option<Mapping>>,
+}
+
+// SAFETY: `Mapping` holds a raw pointer into a `PageBuf` whose storage is
+// stable and whose bytes sit in `UnsafeCell`s. The cache itself is only
+// accessed under the `HandoffCell` contract (strict kernel/process
+// alternation), so sending it across the kernel/app thread boundary is
+// sound.
+unsafe impl Send for NodeCache {}
+
+impl NodeCache {
+    /// An empty cache for an address space of `num_pages` pages.
+    pub fn new(num_pages: usize) -> Self {
+        NodeCache {
+            slots: vec![None; num_pages],
+        }
+    }
+}
+
+/// The port type applications communicate over.
+pub type AppPort = ProcessPort<AppRequest<SvmReq>, AppResponse<()>>;
+
+/// A node's view of the shared-memory system: the handle application code
+/// programs against.
+pub struct SvmCtx<'a> {
+    port: &'a AppPort,
+    cache: HandoffCell<NodeCache>,
+    geometry: Geometry,
+    node: usize,
+    nodes: usize,
+}
+
+impl<'a> SvmCtx<'a> {
+    /// Assemble a context (called by the runner's per-node glue).
+    pub fn new(
+        port: &'a AppPort,
+        cache: HandoffCell<NodeCache>,
+        geometry: Geometry,
+        node: usize,
+        nodes: usize,
+    ) -> Self {
+        SvmCtx {
+            port,
+            cache,
+            geometry,
+            node,
+            nodes,
+        }
+    }
+
+    /// This node's id (0-based).
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Number of nodes in the run.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The page geometry of the shared address space.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Charge `d` of application computation (occupies the compute
+    /// processor; preemptible by protocol service).
+    pub fn compute(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        match self.port.request(AppRequest::Compute(d)) {
+            AppResponse::Done => {}
+            AppResponse::Custom(()) => unreachable!("compute answered with custom response"),
+        }
+    }
+
+    /// Charge `ns` nanoseconds of computation.
+    pub fn compute_ns(&self, ns: u64) {
+        self.compute(SimDuration::from_nanos(ns));
+    }
+
+    /// Charge `us` microseconds of computation.
+    pub fn compute_us(&self, us: u64) {
+        self.compute(SimDuration::from_micros(us));
+    }
+
+    /// Acquire a lock (paper: `LOCK`).
+    pub fn lock(&self, l: LockId) {
+        self.request(SvmReq::Lock(l));
+    }
+
+    /// Release a lock (paper: `UNLOCK`).
+    pub fn unlock(&self, l: LockId) {
+        self.request(SvmReq::Unlock(l));
+    }
+
+    /// Enter a global barrier (paper: `BARRIER`).
+    pub fn barrier(&self, b: BarrierId) {
+        self.request(SvmReq::Barrier(b));
+    }
+
+    fn request(&self, req: SvmReq) {
+        match self.port.request(AppRequest::Custom(req)) {
+            AppResponse::Done => {}
+            AppResponse::Custom(()) => {}
+        }
+    }
+
+    /// Resolve a page mapping with the required rights, faulting as needed.
+    fn mapping(&self, page: u32, write: bool) -> *mut u8 {
+        for attempt in 0..8 {
+            {
+                // SAFETY: the application thread runs only between a resume
+                // and its next request; the kernel is parked, so we hold the
+                // only live reference into the cache (HandoffCell contract).
+                let cache = unsafe { self.cache.get_mut() };
+                if let Some(m) = &cache.slots[page as usize] {
+                    if !write || m.writable {
+                        return m.ptr;
+                    }
+                }
+            }
+            // Miss or insufficient rights: run the fault protocol. The
+            // kernel installs the mapping before completing the request.
+            self.request(SvmReq::Fault {
+                page: svm_mem::PageNum(page),
+                write,
+            });
+            debug_assert!(attempt < 7, "fault did not install a usable mapping");
+        }
+        panic!("node {}: fault loop failed to map page {page}", self.node);
+    }
+
+    /// Read `out.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: GAddr, out: &mut [u8]) {
+        self.access_bytes(addr, out.len(), false, |ptr, off, done, len| {
+            // SAFETY: `ptr` maps a live page copy; `off + len` is within the
+            // page (access_bytes splits at page boundaries); the kernel is
+            // parked, so no concurrent access exists.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    ptr.add(off),
+                    out[done..done + len].as_mut_ptr(),
+                    len,
+                );
+            }
+        });
+    }
+
+    /// Write `src` starting at `addr`.
+    pub fn write_bytes(&self, addr: GAddr, src: &[u8]) {
+        self.access_bytes(addr, src.len(), true, |ptr, off, done, len| {
+            // SAFETY: as in `read_bytes`, within-page and exclusive.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src[done..done + len].as_ptr(), ptr.add(off), len);
+            }
+        });
+    }
+
+    /// Split `[addr, addr+len)` into per-page chunks and run `f(page_ptr,
+    /// offset_in_page, bytes_done_so_far, chunk_len)` for each.
+    fn access_bytes(
+        &self,
+        addr: GAddr,
+        len: usize,
+        write: bool,
+        mut f: impl FnMut(*mut u8, usize, usize, usize),
+    ) {
+        let ps = self.geometry.page_size();
+        let mut a = addr;
+        let mut done = 0usize;
+        while done < len {
+            let page = self.geometry.page_of(a);
+            let off = self.geometry.offset_in_page(a);
+            let chunk = (len - done).min(ps - off);
+            let ptr = self.mapping(page.0, write);
+            f(ptr, off, done, chunk);
+            a = a + chunk as u64;
+            done += chunk;
+        }
+    }
+
+    /// Read a scalar at `addr` (must not cross a page boundary — guaranteed
+    /// for naturally aligned allocations).
+    pub fn read<T: Scalar>(&self, addr: GAddr) -> T {
+        let off = self.geometry.offset_in_page(addr);
+        debug_assert!(
+            off + std::mem::size_of::<T>() <= self.geometry.page_size(),
+            "scalar access crosses a page boundary (misaligned address {addr:?})"
+        );
+        let ptr = self.mapping(self.geometry.page_of(addr).0, false);
+        let mut raw = [0u8; 8];
+        // SAFETY: within-page (asserted), mapped, exclusive (kernel parked).
+        unsafe {
+            std::ptr::copy_nonoverlapping(ptr.add(off), raw.as_mut_ptr(), std::mem::size_of::<T>());
+        }
+        T::from_raw(raw)
+    }
+
+    /// Write a scalar at `addr` (same alignment contract as [`SvmCtx::read`]).
+    pub fn write<T: Scalar>(&self, addr: GAddr, v: T) {
+        let off = self.geometry.offset_in_page(addr);
+        debug_assert!(off + std::mem::size_of::<T>() <= self.geometry.page_size());
+        let ptr = self.mapping(self.geometry.page_of(addr).0, true);
+        let raw = v.to_raw();
+        // SAFETY: within-page (asserted), mapped writable, exclusive.
+        unsafe {
+            std::ptr::copy_nonoverlapping(raw.as_ptr(), ptr.add(off), std::mem::size_of::<T>());
+        }
+    }
+}
+
+/// Plain scalars storable in shared memory (little-endian).
+pub trait Scalar: Copy {
+    /// Decode from the first `size_of::<Self>()` bytes of `raw`.
+    fn from_raw(raw: [u8; 8]) -> Self;
+    /// Encode into up to 8 bytes.
+    fn to_raw(self) -> [u8; 8];
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            fn from_raw(raw: [u8; 8]) -> Self {
+                let mut b = [0u8; std::mem::size_of::<$t>()];
+                b.copy_from_slice(&raw[..std::mem::size_of::<$t>()]);
+                <$t>::from_le_bytes(b)
+            }
+            fn to_raw(self) -> [u8; 8] {
+                let mut raw = [0u8; 8];
+                raw[..std::mem::size_of::<$t>()].copy_from_slice(&self.to_le_bytes());
+                raw
+            }
+        }
+    )*};
+}
+
+impl_scalar!(f64, f32, u64, i64, u32, i32, u16, u8);
+
+/// A typed view of a shared array: a base address plus an element count.
+///
+/// `SharedArr` is plain data — clone it into every node's program. All
+/// access goes through an [`SvmCtx`].
+#[derive(Debug)]
+pub struct SharedArr<T> {
+    base: GAddr,
+    len: usize,
+    _elem: std::marker::PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would bound on `T: Clone/Copy`, which is not
+// needed for a phantom-typed address range.
+impl<T> Clone for SharedArr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedArr<T> {}
+
+impl<T: Scalar> SharedArr<T> {
+    /// Wrap a base address and length (normally produced by `Setup`).
+    pub fn from_raw(base: GAddr, len: usize) -> Self {
+        SharedArr {
+            base,
+            len,
+            _elem: std::marker::PhantomData,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    pub fn addr(&self, i: usize) -> GAddr {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Read element `i`.
+    pub fn get(&self, ctx: &SvmCtx<'_>, i: usize) -> T {
+        ctx.read(self.addr(i))
+    }
+
+    /// Write element `i`.
+    pub fn set(&self, ctx: &SvmCtx<'_>, i: usize, v: T) {
+        ctx.write(self.addr(i), v);
+    }
+
+    /// Bulk-read `[start, start+out.len())` into `out`.
+    ///
+    /// Copies page-sized chunks at memory speed (one mapping check per
+    /// page), which is what makes coarse-grained application loops cheap to
+    /// simulate — exactly like touching a mapped page on real hardware.
+    pub fn read_into(&self, ctx: &SvmCtx<'_>, start: usize, out: &mut [T]) {
+        debug_assert!(start + out.len() <= self.len);
+        if out.is_empty() {
+            return;
+        }
+        // SAFETY: `T: Scalar` types are plain little-endian numerics with no
+        // padding or invalid bit patterns; viewing the slice as bytes (and
+        // filling it from page memory) is sound on the little-endian targets
+        // this simulator supports.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, std::mem::size_of_val(out))
+        };
+        ctx.read_bytes(self.addr(start), bytes);
+    }
+
+    /// Bulk-write `src` to `[start, start+src.len())` (page-chunked; see
+    /// [`SharedArr::read_into`]).
+    pub fn write_from(&self, ctx: &SvmCtx<'_>, start: usize, src: &[T]) {
+        debug_assert!(start + src.len() <= self.len);
+        if src.is_empty() {
+            return;
+        }
+        // SAFETY: as in `read_into`; reading the source slice as bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src))
+        };
+        ctx.write_bytes(self.addr(start), bytes);
+    }
+}

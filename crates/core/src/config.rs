@@ -1,0 +1,169 @@
+//! Protocol and run configuration.
+
+use svm_machine::{CostModel, NodeId};
+use svm_mem::PageNum;
+
+/// Update-location strategy: the paper's central axis.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// Homeless: diffs live at their writers until garbage collection.
+    Lrc,
+    /// Home-based: diffs are flushed to each page's home and discarded.
+    Hlrc,
+}
+
+/// One of the four protocols evaluated in the paper, or AURC — the
+/// hardware automatic-update protocol HLRC derives from (paper Section
+/// 2.2), included for the AURC/HLRC comparison the paper builds on (its
+/// references \[15, 16\]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolName {
+    /// Standard homeless LRC on the compute processor.
+    Lrc,
+    /// Homeless LRC with co-processor overlap (diffs, fetch service).
+    Olrc,
+    /// Home-based LRC on the compute processor.
+    Hlrc,
+    /// Home-based LRC with co-processor overlap (diffs, home application,
+    /// fetch service).
+    Ohlrc,
+    /// Automatic Update Release Consistency: updates detected and
+    /// propagated to the home by write-through hardware — zero software
+    /// overhead, no twins, higher update traffic (modeled; see
+    /// `svm-core::protocol` docs).
+    Aurc,
+}
+
+impl ProtocolName {
+    /// The paper's four protocols, in its reporting order.
+    pub const ALL: [ProtocolName; 4] = [
+        ProtocolName::Lrc,
+        ProtocolName::Olrc,
+        ProtocolName::Hlrc,
+        ProtocolName::Ohlrc,
+    ];
+
+    /// The paper's four plus the AURC reference point.
+    pub const WITH_AURC: [ProtocolName; 5] = [
+        ProtocolName::Lrc,
+        ProtocolName::Olrc,
+        ProtocolName::Hlrc,
+        ProtocolName::Ohlrc,
+        ProtocolName::Aurc,
+    ];
+
+    /// The home/homeless axis.
+    pub fn kind(self) -> ProtocolKind {
+        match self {
+            ProtocolName::Lrc | ProtocolName::Olrc => ProtocolKind::Lrc,
+            ProtocolName::Hlrc | ProtocolName::Ohlrc | ProtocolName::Aurc => ProtocolKind::Hlrc,
+        }
+    }
+
+    /// Whether protocol work is offloaded to the co-processor.
+    pub fn overlapped(self) -> bool {
+        matches!(self, ProtocolName::Olrc | ProtocolName::Ohlrc)
+    }
+
+    /// Whether updates propagate via the automatic-update hardware.
+    pub fn auto_update(self) -> bool {
+        matches!(self, ProtocolName::Aurc)
+    }
+
+    /// Display label as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolName::Lrc => "LRC",
+            ProtocolName::Olrc => "OLRC",
+            ProtocolName::Hlrc => "HLRC",
+            ProtocolName::Ohlrc => "OHLRC",
+            ProtocolName::Aurc => "AURC",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How pages are assigned homes (home-based protocols).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HomePolicy {
+    /// `page % P` — the baseline used by the home-placement ablation.
+    RoundRobin,
+    /// Applications assign ranges to their owners (Splash-2-style
+    /// placement); unassigned pages fall back to round-robin. This is the
+    /// "homes chosen intelligently" case of paper Section 2.2.
+    Explicit,
+    /// The first node to fault on a page after the spawn becomes its home;
+    /// until then the initializing node (node 0) serves it.
+    FirstTouch,
+}
+
+impl HomePolicy {
+    /// The fallback home for `page` before/without explicit assignment.
+    pub fn default_home(&self, page: PageNum, nodes: usize) -> NodeId {
+        NodeId((page.0 as usize % nodes) as u16)
+    }
+}
+
+/// Everything a protocol run needs to know.
+#[derive(Clone, Debug)]
+pub struct SvmConfig {
+    /// Which of the four protocols to run.
+    pub protocol: ProtocolName,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Machine cost model (also fixes the page size).
+    pub cost: CostModel,
+    /// Home assignment policy (ignored by the homeless protocols except for
+    /// directory bookkeeping).
+    pub home_policy: HomePolicy,
+    /// Garbage-collection trigger: protocol memory per node above which a
+    /// barrier runs GC (homeless protocols only).
+    pub gc_threshold_bytes: u64,
+}
+
+impl SvmConfig {
+    /// A configuration with paper-like defaults.
+    pub fn new(protocol: ProtocolName, nodes: usize) -> Self {
+        SvmConfig {
+            protocol,
+            nodes,
+            cost: CostModel::paragon(),
+            home_policy: HomePolicy::Explicit,
+            // The Paragon nodes had 32 MB shared by the OS, the
+            // application and the protocol; TreadMarks-style systems GC
+            // well before exhausting memory.
+            gc_threshold_bytes: 8 << 20,
+        }
+    }
+
+    /// Page size in bytes (from the cost model).
+    pub fn page_size(&self) -> usize {
+        self.cost.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_axes() {
+        assert_eq!(ProtocolName::Lrc.kind(), ProtocolKind::Lrc);
+        assert_eq!(ProtocolName::Ohlrc.kind(), ProtocolKind::Hlrc);
+        assert!(!ProtocolName::Hlrc.overlapped());
+        assert!(ProtocolName::Olrc.overlapped());
+        assert_eq!(ProtocolName::ALL.len(), 4);
+    }
+
+    #[test]
+    fn round_robin_homes() {
+        let p = HomePolicy::RoundRobin;
+        assert_eq!(p.default_home(PageNum(5), 4), NodeId(1));
+        assert_eq!(p.default_home(PageNum(8), 4), NodeId(0));
+    }
+}

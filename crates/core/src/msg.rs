@@ -1,0 +1,335 @@
+//! Protocol wire messages, application requests, and write-notice records.
+
+use std::rc::Rc;
+
+use svm_machine::{Message, NodeId, TrafficClass};
+use svm_mem::{Diff, PageNum};
+
+use crate::api::{BarrierId, LockId};
+use crate::vt::VectorTime;
+
+/// A write-notice record: one interval of one writer and the pages it
+/// dirtied.
+///
+/// In the homeless protocols the record carries (and is charged for) the
+/// full vector timestamp, which is what makes their write notices grow with
+/// the machine size (paper Section 4.6); the home-based protocols only need
+/// `(writer, interval, pages)`.
+#[derive(Clone, Debug)]
+pub struct IntervalRec {
+    /// The writing node.
+    pub writer: NodeId,
+    /// The writer's interval index.
+    pub interval: u32,
+    /// The writer's vector time at the interval's end.
+    pub vt: VectorTime,
+    /// Pages dirtied during the interval.
+    pub pages: Vec<PageNum>,
+}
+
+impl IntervalRec {
+    /// Wire/heap footprint of the record. Home-based runs construct records
+    /// with an empty vector time, so the flavor difference falls out of the
+    /// data itself.
+    pub fn bytes(&self) -> usize {
+        8 + self.vt.bytes() + 4 * self.pages.len()
+    }
+}
+
+/// Total footprint of a batch of records.
+pub fn records_bytes(records: &[Rc<IntervalRec>]) -> usize {
+    records.iter().map(|r| r.bytes()).sum()
+}
+
+/// What the application can ask the protocol for.
+#[derive(Debug)]
+pub enum SvmReq {
+    /// Access fault on `page` (the mapping cache missed or lacked rights).
+    Fault {
+        /// The faulting page.
+        page: PageNum,
+        /// Whether write access is required.
+        write: bool,
+    },
+    /// Acquire a lock.
+    Lock(LockId),
+    /// Release a lock.
+    Unlock(LockId),
+    /// Enter a barrier.
+    Barrier(BarrierId),
+}
+
+/// Protocol messages.
+#[derive(Debug)]
+pub enum SvmMsg {
+    // ---- synchronization (always serviced by the compute processor) ----
+    /// Acquire request, to the lock's manager.
+    LockRequest {
+        /// The lock.
+        lock: LockId,
+        /// The acquiring node.
+        requester: NodeId,
+        /// The acquirer's vector time (for write-notice selection).
+        vt: VectorTime,
+    },
+    /// Manager forwarding the request to the last requester in the chain.
+    LockForward {
+        /// The lock.
+        lock: LockId,
+        /// The acquiring node.
+        requester: NodeId,
+        /// The acquirer's vector time.
+        vt: VectorTime,
+    },
+    /// The grant, from the previous holder to the acquirer.
+    LockGrant {
+        /// The lock.
+        lock: LockId,
+        /// The releaser's vector time.
+        vt: VectorTime,
+        /// Write notices the acquirer has not seen.
+        records: Vec<Rc<IntervalRec>>,
+    },
+    /// Barrier arrival, to the barrier manager.
+    BarrierArrive {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The arriving node.
+        node: NodeId,
+        /// Its vector time.
+        vt: VectorTime,
+        /// Records the manager has not seen (since the last barrier).
+        records: Vec<Rc<IntervalRec>>,
+        /// The node's current protocol memory (drives the GC decision).
+        proto_mem: u64,
+    },
+    /// Barrier departure, from the manager.
+    BarrierRelease {
+        /// The barrier.
+        barrier: BarrierId,
+        /// The merged (maximal) vector time.
+        vt: VectorTime,
+        /// Records this node has not seen.
+        records: Vec<Rc<IntervalRec>>,
+        /// Run garbage collection before departing (homeless protocols).
+        gc: bool,
+    },
+
+    // ---- homeless (LRC / OLRC) data movement ----
+    /// Ask `writer` for its diffs of `page` in `(from_excl, to_incl]`.
+    DiffRequest {
+        /// The page.
+        page: PageNum,
+        /// Who is asking (reply target).
+        requester: NodeId,
+        /// Whose diffs.
+        writer: NodeId,
+        /// Lower interval bound, exclusive.
+        from_excl: u32,
+        /// Upper interval bound, inclusive.
+        to_incl: u32,
+    },
+    /// Diffs returned by a writer.
+    DiffReply {
+        /// The page.
+        page: PageNum,
+        /// The writer's diffs, oldest first.
+        diffs: Vec<DiffPacket>,
+    },
+    /// Full-page request (cold or post-GC copies), to a copyset member.
+    PageRequest {
+        /// The page.
+        page: PageNum,
+        /// Who is asking.
+        requester: NodeId,
+    },
+    /// Full page returned by a copyset member.
+    PageReply {
+        /// The page.
+        page: PageNum,
+        /// Page contents.
+        data: Vec<u8>,
+        /// Per-writer intervals already included in `data`.
+        applied: Vec<(NodeId, u32)>,
+    },
+
+    // ---- home-based (HLRC / OHLRC) data movement ----
+    /// A diff flushed to the page's home at interval end.
+    DiffFlush {
+        /// The page.
+        page: PageNum,
+        /// The writer.
+        writer: NodeId,
+        /// The writer's interval.
+        interval: u32,
+        /// The updates.
+        diff: Diff,
+    },
+    /// Version-checked page fetch, to the home.
+    HomeRequest {
+        /// The page.
+        page: PageNum,
+        /// Who is asking.
+        requester: NodeId,
+        /// Required per-writer flush timestamps (paper Section 2.4.2).
+        need: Vec<(NodeId, u32)>,
+    },
+    /// The home's reply: a whole, up-to-date page.
+    HomeReply {
+        /// The page.
+        page: PageNum,
+        /// Page contents.
+        data: Vec<u8>,
+        /// Per-writer intervals included (becomes the fetcher's `applied`).
+        applied: Vec<(NodeId, u32)>,
+    },
+
+    // ---- intra-node posts (overlapped protocols; never on the wire) ----
+    /// Diff work for the pages of one just-ended interval (posted cpu ->
+    /// co-processor). The diff *content* is frozen at interval end — the
+    /// paper's co-processor dispatch loop serializes diff creation against
+    /// later page mutations, so a pending diff never absorbs newer writes —
+    /// while the computation *time* is charged on the co-processor when the
+    /// task runs.
+    DiffTask {
+        /// The interval that closed.
+        interval: u32,
+        /// The interval's vector time (homeless runs need it for the store).
+        vt: VectorTime,
+        /// `(page, frozen diff)` work items.
+        items: Vec<(PageNum, Diff)>,
+    },
+}
+
+/// One diff in a [`SvmMsg::DiffReply`].
+#[derive(Debug)]
+pub struct DiffPacket {
+    /// The writer (all packets in a reply share it).
+    pub writer: NodeId,
+    /// The writer's interval that produced the diff.
+    pub interval: u32,
+    /// The interval's vector time (for causal ordering at the applier).
+    pub vt: VectorTime,
+    /// The updates.
+    pub diff: Rc<Diff>,
+}
+
+impl SvmMsg {
+    /// Short message-kind label (trace output, Figures 1–2 timelines).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            SvmMsg::LockRequest { .. } => "lock-request",
+            SvmMsg::LockForward { .. } => "lock-forward",
+            SvmMsg::LockGrant { .. } => "lock-grant(+write-notices)",
+            SvmMsg::BarrierArrive { .. } => "barrier-arrive",
+            SvmMsg::BarrierRelease { .. } => "barrier-release",
+            SvmMsg::DiffRequest { .. } => "diff-request",
+            SvmMsg::DiffReply { .. } => "diff-reply",
+            SvmMsg::PageRequest { .. } => "page-request",
+            SvmMsg::PageReply { .. } => "page-reply",
+            SvmMsg::DiffFlush { .. } => "diff-flush(to home)",
+            SvmMsg::HomeRequest { .. } => "page-request(to home)",
+            SvmMsg::HomeReply { .. } => "page-reply(from home)",
+            SvmMsg::DiffTask { .. } => "diff-task(post to coproc)",
+        }
+    }
+}
+
+impl Message for SvmMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            SvmMsg::LockRequest { vt, .. } | SvmMsg::LockForward { vt, .. } => 12 + vt.bytes(),
+            SvmMsg::LockGrant { vt, records, .. } => 16 + vt.bytes() + records_bytes(records),
+            SvmMsg::BarrierArrive { vt, records, .. } => 20 + vt.bytes() + records_bytes(records),
+            SvmMsg::BarrierRelease { vt, records, .. } => 16 + vt.bytes() + records_bytes(records),
+            SvmMsg::DiffRequest { .. } => 24,
+            SvmMsg::DiffReply { diffs, .. } => {
+                16 + diffs
+                    .iter()
+                    .map(|p| 8 + p.vt.bytes() + p.diff.wire_bytes())
+                    .sum::<usize>()
+            }
+            SvmMsg::PageRequest { .. } => 16,
+            SvmMsg::PageReply { data, applied, .. } | SvmMsg::HomeReply { data, applied, .. } => {
+                16 + data.len() + 8 * applied.len()
+            }
+            SvmMsg::DiffFlush { diff, .. } => 16 + diff.wire_bytes(),
+            SvmMsg::HomeRequest { need, .. } => 16 + 8 * need.len(),
+            SvmMsg::DiffTask { .. } => 0, // intra-node only
+        }
+    }
+
+    fn class(&self) -> TrafficClass {
+        match self {
+            SvmMsg::DiffReply { .. }
+            | SvmMsg::PageReply { .. }
+            | SvmMsg::HomeReply { .. }
+            | SvmMsg::DiffFlush { .. } => TrafficClass::Data,
+            _ => TrafficClass::Protocol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(nodes: usize, pages: usize) -> Rc<IntervalRec> {
+        Rc::new(IntervalRec {
+            writer: NodeId(0),
+            interval: 1,
+            vt: VectorTime::zero(nodes),
+            pages: (0..pages as u32).map(PageNum).collect(),
+        })
+    }
+
+    #[test]
+    fn homeless_records_carry_vector_timestamps() {
+        // Homeless runs put the full vector time in each record; home-based
+        // runs build records with an empty one.
+        assert_eq!(rec(8, 2).bytes(), 8 + 32 + 8);
+        assert_eq!(rec(64, 2).bytes(), 8 + 256 + 8);
+        assert_eq!(rec(0, 2).bytes(), 8 + 8, "home-based records are small");
+    }
+
+    #[test]
+    fn grant_sizes_grow_with_machine_size_when_homeless() {
+        let big = SvmMsg::LockGrant {
+            lock: LockId(0),
+            vt: VectorTime::zero(64),
+            records: vec![rec(64, 4)],
+        };
+        let small = SvmMsg::LockGrant {
+            lock: LockId(0),
+            vt: VectorTime::zero(64),
+            records: vec![rec(0, 4)],
+        };
+        assert!(big.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn classes() {
+        let flush = SvmMsg::DiffFlush {
+            page: PageNum(0),
+            writer: NodeId(0),
+            interval: 1,
+            diff: Diff::default(),
+        };
+        assert_eq!(flush.class(), TrafficClass::Data);
+        let req = SvmMsg::PageRequest {
+            page: PageNum(0),
+            requester: NodeId(1),
+        };
+        assert_eq!(req.class(), TrafficClass::Protocol);
+    }
+
+    #[test]
+    fn page_reply_priced_by_page_size() {
+        let reply = SvmMsg::HomeReply {
+            page: PageNum(0),
+            data: vec![0; 8192],
+            applied: vec![],
+        };
+        assert_eq!(reply.wire_bytes(), 16 + 8192);
+    }
+}

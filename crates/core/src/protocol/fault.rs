@@ -1,0 +1,460 @@
+//! Page-fault handling and homeless update resolution.
+//!
+//! A fault either installs a mapping (the simulated equivalent of a TLB/
+//! mapping miss on a valid page — free), upgrades to write access (twin
+//! creation), or fetches remote data: homeless LRC collects diffs from the
+//! last writers and applies them in causal order, with a full-page fetch
+//! first for copies it never had (paper Section 2.1); the home-based path
+//! lives in `home.rs`.
+
+use std::cmp::Ordering;
+
+use svm_machine::{Category, NodeId};
+use svm_mem::{Access, PageBuf, PageNum};
+
+use crate::msg::{DiffPacket, SvmMsg};
+
+use super::state::{FaultProgress, FaultStage};
+use super::{MCtx, SvmAgent};
+
+impl SvmAgent {
+    /// Application access fault on `page`.
+    pub(crate) fn on_fault(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum, write: bool) {
+        let idx = n.index();
+        assert!(
+            self.nodes_st[idx].fault.is_none(),
+            "one outstanding fault per node"
+        );
+        let access = self.nodes_st[idx].pages[page.0 as usize].access;
+
+        // Mapping-only miss: rights are already sufficient.
+        if access.readable() && (!write || access.writable()) {
+            self.install_mapping(n, page, access.writable());
+            ctx.ack_app(n);
+            return;
+        }
+
+        // Write upgrade on a readable copy: the twin-creation fault.
+        if access == Access::ReadOnly && write {
+            let fault_cost = ctx.cost().page_fault;
+            ctx.work(fault_cost, Category::Protocol);
+            self.make_writable(ctx, n, page);
+            self.install_mapping(n, page, true);
+            ctx.ack_app(n);
+            return;
+        }
+
+        // Invalid: a real miss.
+        debug_assert_eq!(access, Access::Invalid);
+        self.counters[idx].read_misses += 1;
+        let fault_cost = ctx.cost().page_fault;
+        ctx.work(fault_cost, Category::Protocol);
+        ctx.block_app(n, Category::DataTransfer);
+        self.nodes_st[idx].fault = Some(FaultProgress {
+            page,
+            write,
+            stage: FaultStage::AwaitHome,
+        });
+        if self.homeless() {
+            self.start_lrc_fetch(ctx, n, page);
+        } else {
+            self.start_home_fetch(ctx, n, page);
+        }
+    }
+
+    /// Twin + write-enable on a readable page.
+    pub(crate) fn make_writable(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
+        let idx = n.index();
+        self.counters[idx].write_faults += 1;
+        let ps = self.page_size();
+        let is_home = !self.homeless() && self.dir[page.0 as usize].home == Some(n);
+        if !is_home {
+            let auto_update = self.cfg.protocol.auto_update();
+            if !auto_update {
+                let twin_cost = ctx.cost().twin_copy(ps);
+                ctx.work(twin_cost, Category::Protocol);
+            }
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            debug_assert!(st.twin.is_none(), "double twin");
+            // Under AURC the hardware snoops writes; the simulator still
+            // keeps a twin internally to reconstruct the propagated bytes,
+            // but charges no time or protocol memory for it.
+            st.twin = Some(st.buf.as_mut().expect("writable page has a copy").to_vec());
+            if !auto_update {
+                self.counters[idx].mem.twins(ps as i64);
+            }
+        }
+        let protect = ctx.cost().page_protect;
+        ctx.work(protect, Category::Protocol);
+        let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+        st.access = Access::ReadWrite;
+        self.nodes_st[idx].dirty.push(page);
+    }
+
+    /// Complete an outstanding fault: upgrade if needed, map, unblock.
+    pub(crate) fn finish_fault(&mut self, ctx: &mut MCtx<'_>, n: NodeId) {
+        let f = self.nodes_st[n.index()]
+            .fault
+            .take()
+            .expect("fault in progress");
+        debug_assert!(self.nodes_st[n.index()].pages[f.page.0 as usize]
+            .access
+            .readable());
+        if f.write {
+            self.make_writable(ctx, n, f.page);
+            self.install_mapping(n, f.page, true);
+        } else {
+            self.install_mapping(n, f.page, false);
+        }
+        ctx.ack_app(n);
+    }
+
+    // ---- homeless fetch ----
+
+    fn start_lrc_fetch(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
+        let idx = n.index();
+        if self.nodes_st[idx].pages[page.0 as usize].buf.is_none() {
+            // Cold (or post-GC) miss: fetch a base copy first.
+            let validator = self.dir[page.0 as usize].validator;
+            debug_assert_ne!(validator, n, "validator faulting on its own page");
+            self.nodes_st[idx].fault.as_mut().expect("fault").stage = FaultStage::AwaitPage;
+            let to = self.data_proc(validator);
+            self.send_or_local(ctx, to, SvmMsg::PageRequest { page, requester: n });
+        } else {
+            self.request_diffs(ctx, n, page);
+        }
+    }
+
+    /// Ask every writer with unseen intervals for its diffs.
+    fn request_diffs(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
+        let idx = n.index();
+        let needs: Vec<(NodeId, u32, u32)> = {
+            let st = &self.nodes_st[idx].pages[page.0 as usize];
+            st.seen
+                .iter()
+                .filter(|&(w, i)| w != n && i > st.applied.get(w))
+                .map(|(w, i)| (w, st.applied.get(w), i))
+                .collect()
+        };
+        if crate::trace::trace_on() {
+            eprintln!("T request_diffs {n:?} page {page:?} needs={needs:?}");
+        }
+        if needs.is_empty() {
+            self.validate_lrc_page(ctx, n, page, Vec::new());
+            return;
+        }
+        self.nodes_st[idx].fault.as_mut().expect("fault").stage = FaultStage::AwaitDiffs {
+            outstanding: needs.len() as u32,
+            stash: Vec::new(),
+        };
+        for (w, from_excl, to_incl) in needs {
+            let to = self.data_proc(w);
+            self.send_or_local(
+                ctx,
+                to,
+                SvmMsg::DiffRequest {
+                    page,
+                    requester: n,
+                    writer: w,
+                    from_excl,
+                    to_incl,
+                },
+            );
+        }
+    }
+
+    /// A writer services a diff request (possibly parking it while an
+    /// overlapped diff computation is still pending).
+    pub(crate) fn on_diff_request(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        w: NodeId,
+        page: PageNum,
+        requester: NodeId,
+        from_excl: u32,
+        to_incl: u32,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let idx = w.index();
+        let pending = (from_excl + 1..=to_incl)
+            .any(|i| self.nodes_st[idx].pending_diffs.contains(&(page.0, i)));
+        if pending {
+            // The co-processor has not finished these diffs yet: park the
+            // request; it is re-served when the diff task completes (paper
+            // Section 3.4, "queues the request until the diff is ready").
+            self.nodes_st[idx]
+                .parked_diff_requests
+                .push((page, requester, w, from_excl, to_incl));
+            return;
+        }
+        self.reply_diffs(ctx, w, page, requester, from_excl, to_incl);
+    }
+
+    fn reply_diffs(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        w: NodeId,
+        page: PageNum,
+        requester: NodeId,
+        from_excl: u32,
+        to_incl: u32,
+    ) {
+        let idx = w.index();
+        let diffs: Vec<DiffPacket> = self.nodes_st[idx]
+            .diff_store
+            .get(&page.0)
+            .map(|v| {
+                v.iter()
+                    .filter(|d| d.interval > from_excl && d.interval <= to_incl)
+                    .map(|d| DiffPacket {
+                        writer: w,
+                        interval: d.interval,
+                        vt: d.vt.clone(),
+                        diff: d.diff.clone(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if crate::trace::trace_on() {
+            let ks: Vec<_> = diffs
+                .iter()
+                .map(|p| (p.writer.0, p.interval, p.diff.payload_bytes()))
+                .collect();
+            eprintln!("T diff_reply from {w:?} to {requester:?} page {page:?} range ({from_excl},{to_incl}] -> {ks:?}");
+        }
+        self.send_or_local(
+            ctx,
+            svm_machine::ProcAddr::cpu(requester),
+            SvmMsg::DiffReply { page, diffs },
+        );
+    }
+
+    /// Re-serve requests parked behind overlapped diff computation.
+    pub(crate) fn serve_parked_diff_requests(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        w: NodeId,
+        page: PageNum,
+    ) {
+        let idx = w.index();
+        let mut ready = Vec::new();
+        let parked = std::mem::take(&mut self.nodes_st[idx].parked_diff_requests);
+        for (p, requester, writer, from_excl, to_incl) in parked {
+            let still_pending = p == page
+                && (from_excl + 1..=to_incl)
+                    .any(|i| self.nodes_st[idx].pending_diffs.contains(&(p.0, i)));
+            if p == page && !still_pending {
+                ready.push((p, requester, writer, from_excl, to_incl));
+            } else {
+                self.nodes_st[idx]
+                    .parked_diff_requests
+                    .push((p, requester, writer, from_excl, to_incl));
+            }
+        }
+        for (p, requester, _w, from_excl, to_incl) in ready {
+            self.reply_diffs(ctx, w, p, requester, from_excl, to_incl);
+        }
+    }
+
+    /// A full-page base copy request (cold/post-GC).
+    pub(crate) fn on_page_request(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        v: NodeId,
+        page: PageNum,
+        requester: NodeId,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let st = &mut self.nodes_st[v.index()].pages[page.0 as usize];
+        let buf = st.buf.as_mut().expect("validator must hold a copy");
+        let data = buf.to_vec();
+        let applied = st.applied.to_vec();
+        self.send_or_local(
+            ctx,
+            svm_machine::ProcAddr::cpu(requester),
+            SvmMsg::PageReply {
+                page,
+                data,
+                applied,
+            },
+        );
+    }
+
+    /// The base copy arrived; continue with diff collection.
+    pub(crate) fn on_page_reply(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        r: NodeId,
+        page: PageNum,
+        data: Vec<u8>,
+        applied: Vec<(NodeId, u32)>,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let idx = r.index();
+        self.counters[idx].full_page_fetches += 1;
+        {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            debug_assert!(st.buf.is_none());
+            st.buf = Some(PageBuf::from_slice(&data));
+            st.applied.merge_max(&applied);
+            st.seen.merge_max(&applied);
+        }
+        debug_assert!(matches!(
+            self.nodes_st[idx].fault.as_ref().expect("fault").stage,
+            FaultStage::AwaitPage
+        ));
+        self.request_diffs(ctx, r, page);
+    }
+
+    /// A writer's diffs arrived.
+    pub(crate) fn on_diff_reply(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        r: NodeId,
+        page: PageNum,
+        mut diffs: Vec<DiffPacket>,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let idx = r.index();
+        let done = {
+            let f = self.nodes_st[idx]
+                .fault
+                .as_mut()
+                .expect("fault in progress");
+            debug_assert_eq!(f.page, page);
+            let FaultStage::AwaitDiffs { outstanding, stash } = &mut f.stage else {
+                panic!("diff reply outside diff collection")
+            };
+            stash.append(&mut diffs);
+            *outstanding -= 1;
+            *outstanding == 0
+        };
+        if done {
+            let FaultStage::AwaitDiffs { stash, .. } = std::mem::replace(
+                &mut self.nodes_st[idx].fault.as_mut().expect("fault").stage,
+                FaultStage::AwaitHome,
+            ) else {
+                unreachable!()
+            };
+            self.validate_lrc_page(ctx, r, page, stash);
+        }
+    }
+
+    /// Apply collected diffs in causal order and finish the fault.
+    fn validate_lrc_page(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        r: NodeId,
+        page: PageNum,
+        mut stash: Vec<DiffPacket>,
+    ) {
+        let idx = r.index();
+        causal_sort(&mut stash);
+        if crate::trace::trace_on() {
+            let ks: Vec<_> = stash.iter().map(|p| (p.writer.0, p.interval)).collect();
+            eprintln!("T validate {r:?} page {page:?} applying {ks:?}");
+        }
+        for pkt in &stash {
+            let apply = ctx.cost().diff_apply(pkt.diff.payload_bytes());
+            ctx.work(apply, Category::Protocol);
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            // SAFETY: kernel phase; app threads parked.
+            pkt.diff
+                .apply(unsafe { st.buf.as_ref().expect("base copy present").bytes_mut() });
+            st.applied.raise(pkt.writer, pkt.interval);
+            self.counters[idx].diffs_applied += 1;
+        }
+        self.nodes_st[idx].pages[page.0 as usize].access = Access::ReadOnly;
+        self.finish_fault(ctx, r);
+    }
+}
+
+/// Topologically sort diffs by their intervals' happens-before order
+/// (selection-based; sets are small). Concurrent diffs tie-break by
+/// `(writer, interval)` for determinism.
+pub fn causal_sort(packets: &mut Vec<DiffPacket>) {
+    let mut rest = std::mem::take(packets);
+    while !rest.is_empty() {
+        // Minimal elements: not causally preceded by any other remaining.
+        let mut best: Option<usize> = None;
+        for (i, cand) in rest.iter().enumerate() {
+            let minimal = rest
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || other.vt.causal_cmp(&cand.vt) != Some(Ordering::Less));
+            if !minimal {
+                continue;
+            }
+            best = Some(match best {
+                None => i,
+                Some(b) => {
+                    let bk = (rest[b].writer.0, rest[b].interval);
+                    let ck = (cand.writer.0, cand.interval);
+                    if ck < bk {
+                        i
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let pick = best.expect("happens-before is acyclic");
+        packets.push(rest.remove(pick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vt::VectorTime;
+    use std::rc::Rc;
+    use svm_mem::Diff;
+
+    fn pkt(writer: u16, interval: u32, vt: &[u32]) -> DiffPacket {
+        let mut v = VectorTime::zero(vt.len());
+        for (i, &x) in vt.iter().enumerate() {
+            v.set(NodeId(i as u16), x);
+        }
+        DiffPacket {
+            writer: NodeId(writer),
+            interval,
+            vt: v,
+            diff: Rc::new(Diff::default()),
+        }
+    }
+
+    #[test]
+    fn causal_sort_orders_chains() {
+        // w0 i1 (1,0) -> w1 i1 (1,1) -> w0 i2 (2,1)
+        let mut v = vec![pkt(0, 2, &[2, 1]), pkt(1, 1, &[1, 1]), pkt(0, 1, &[1, 0])];
+        causal_sort(&mut v);
+        let order: Vec<(u16, u32)> = v.iter().map(|p| (p.writer.0, p.interval)).collect();
+        assert_eq!(order, vec![(0, 1), (1, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn causal_sort_breaks_concurrency_deterministically() {
+        let mut a = vec![pkt(1, 1, &[0, 1]), pkt(0, 1, &[1, 0])];
+        let mut b = vec![pkt(0, 1, &[1, 0]), pkt(1, 1, &[0, 1])];
+        causal_sort(&mut a);
+        causal_sort(&mut b);
+        let ka: Vec<_> = a.iter().map(|p| (p.writer.0, p.interval)).collect();
+        let kb: Vec<_> = b.iter().map(|p| (p.writer.0, p.interval)).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka[0], (0, 1), "ties break by writer id");
+    }
+
+    #[test]
+    fn causal_sort_handles_empty_and_single() {
+        let mut v: Vec<DiffPacket> = Vec::new();
+        causal_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![pkt(2, 3, &[0, 0, 3])];
+        causal_sort(&mut v);
+        assert_eq!(v.len(), 1);
+    }
+}

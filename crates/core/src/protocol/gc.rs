@@ -1,0 +1,176 @@
+//! Garbage collection for the homeless protocols (paper Sections 3.5, 4.7).
+//!
+//! Triggered at a barrier when some node's protocol memory exceeds the
+//! threshold. Last writers validate their pages by fetching the diffs they
+//! miss from the other writers; every other stale copy is dropped; then all
+//! diffs and write notices are freed. HLRC/OHLRC never run this — their
+//! diffs die at the home and their notices die at barriers.
+//!
+//! Because GC happens inside a barrier (every application is blocked), it
+//! is simulated as a synchronous global phase: the state mutations are
+//! applied at release time and each node is charged its share of the work
+//! (messages are accounted in aggregate). This keeps the cost and traffic
+//! faithful without simulating each round trip.
+
+use std::collections::BTreeSet;
+
+use svm_machine::{NodeId, TrafficClass};
+use svm_mem::Access;
+use svm_sim::SimDuration;
+
+use crate::msg::DiffPacket;
+
+use super::fault::causal_sort;
+use super::{MCtx, SvmAgent};
+
+/// Bookkeeping cost to free one stored diff.
+const FREE_PER_DIFF: SimDuration = SimDuration::from_micros(1);
+
+impl SvmAgent {
+    /// Run garbage collection globally; returns per-node time to charge at
+    /// barrier release.
+    pub(crate) fn plan_and_run_gc(&mut self, ctx: &mut MCtx<'_>) -> Vec<SimDuration> {
+        debug_assert!(self.homeless());
+        let nodes = self.cfg.nodes;
+        let mut cost = vec![SimDuration::ZERO; nodes];
+
+        // Pages with live diffs anywhere.
+        let mut live_pages: BTreeSet<u32> = BTreeSet::new();
+        for n in &self.nodes_st {
+            live_pages.extend(n.diff_store.keys().copied());
+        }
+
+        for &p in &live_pages {
+            // The "last writer": the writer of the causally latest stored
+            // interval (ties by lowest id) validates the page.
+            let mut candidates: Vec<(NodeId, u32, crate::vt::VectorTime)> = Vec::new();
+            for (i, n) in self.nodes_st.iter().enumerate() {
+                if let Some(ds) = n.diff_store.get(&p) {
+                    if let Some(last) = ds.last() {
+                        candidates.push((NodeId(i as u16), last.interval, last.vt.clone()));
+                    }
+                }
+            }
+            let validator = candidates
+                .iter()
+                .reduce(|a, b| {
+                    match b.2.causal_cmp(&a.2) {
+                        Some(std::cmp::Ordering::Greater) => b,
+                        Some(std::cmp::Ordering::Less) => a,
+                        // Concurrent or equal: lowest node id wins.
+                        _ => {
+                            if b.0 < a.0 {
+                                b
+                            } else {
+                                a
+                            }
+                        }
+                    }
+                })
+                .expect("live page has a writer")
+                .0;
+
+            // Gather the diffs the validator is missing, across writers.
+            let vidx = validator.index();
+            let mut missing: Vec<DiffPacket> = Vec::new();
+            let mut remote_bytes = 0usize;
+            let mut remote_writers = 0u64;
+            for (i, n) in self.nodes_st.iter().enumerate() {
+                let w = NodeId(i as u16);
+                if w == validator {
+                    continue;
+                }
+                let applied = self.nodes_st[vidx].pages[p as usize].applied.get(w);
+                if let Some(ds) = n.diff_store.get(&p) {
+                    let mut any = false;
+                    for d in ds.iter().filter(|d| d.interval > applied) {
+                        missing.push(DiffPacket {
+                            writer: w,
+                            interval: d.interval,
+                            vt: d.vt.clone(),
+                            diff: d.diff.clone(),
+                        });
+                        remote_bytes += d.diff.wire_bytes();
+                        any = true;
+                    }
+                    if any {
+                        remote_writers += 1;
+                        cost[i] += ctx.cost().handler_overhead;
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                // Validation traffic and time at the validator.
+                ctx.record_traffic(validator, TrafficClass::Protocol, remote_writers, 24);
+                ctx.record_traffic(validator, TrafficClass::Data, remote_writers, remote_bytes);
+                // Round trips to each writer plus the diff transfer time.
+                cost[vidx] += ctx.cost().msg_latency * (2 * remote_writers)
+                    + ctx
+                        .cost()
+                        .transit(remote_bytes)
+                        .saturating_sub(ctx.cost().msg_latency);
+                causal_sort(&mut missing);
+                for pkt in &missing {
+                    cost[vidx] += ctx.cost().diff_apply(pkt.diff.payload_bytes());
+                    let st = &mut self.nodes_st[vidx].pages[p as usize];
+                    // SAFETY: kernel phase (barrier; all apps parked).
+                    pkt.diff
+                        .apply(unsafe { st.buf.as_ref().expect("writer has copy").bytes_mut() });
+                    st.applied.raise(pkt.writer, pkt.interval);
+                    self.counters[vidx].diffs_applied += 1;
+                }
+            }
+            // The validator's copy is now current.
+            {
+                let st = &mut self.nodes_st[vidx].pages[p as usize];
+                if st.access == Access::Invalid {
+                    st.access = Access::ReadOnly;
+                }
+            }
+            self.dir[p as usize].validator = validator;
+
+            // Everyone else: copies stale against the *global* store state
+            // are dropped (their repair diffs are about to be freed). Local
+            // `seen` is not enough: this barrier's records have not been
+            // processed yet.
+            let latest: Vec<(NodeId, u32)> = (0..nodes)
+                .filter_map(|i| {
+                    self.nodes_st[i]
+                        .diff_store
+                        .get(&p)
+                        .and_then(|ds| ds.last())
+                        .map(|d| (NodeId(i as u16), d.interval))
+                })
+                .collect();
+            for i in 0..nodes {
+                if i == vidx {
+                    continue;
+                }
+                let st = &mut self.nodes_st[i].pages[p as usize];
+                let stale = st.buf.is_some()
+                    && latest
+                        .iter()
+                        .any(|&(w, li)| w != NodeId(i as u16) && st.applied.get(w) < li);
+                if stale {
+                    st.buf = None;
+                    st.access = Access::Invalid;
+                    st.seen.clear();
+                    st.applied.clear();
+                    self.drop_mapping(NodeId(i as u16), svm_mem::PageNum(p));
+                }
+            }
+        }
+
+        // Free every diff store.
+        for (i, node_cost) in cost.iter_mut().enumerate() {
+            let mut freed_diffs = 0u64;
+            for (_, ds) in self.nodes_st[i].diff_store.drain() {
+                freed_diffs += ds.len() as u64;
+            }
+            *node_cost += FREE_PER_DIFF * freed_diffs;
+            let cur = self.counters[i].mem.diff_bytes;
+            self.counters[i].mem.diffs(-(cur as i64));
+        }
+        cost
+    }
+}

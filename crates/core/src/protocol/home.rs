@@ -1,0 +1,211 @@
+//! Home-based data movement (HLRC / OHLRC, paper Sections 2.3–2.4).
+//!
+//! Writers flush diffs to each page's home at interval end; the home
+//! applies them eagerly and discards them. Fetches are a single round trip:
+//! the request carries the fetcher's required per-writer flush timestamps,
+//! and the home holds the request until every needed diff has been applied
+//! (the version check of Section 2.4.2). In OHLRC all of this runs on the
+//! home's co-processor.
+
+use svm_machine::{Category, NodeId, ProcAddr};
+use svm_mem::{Access, Diff, PageBuf, PageNum};
+
+use crate::msg::SvmMsg;
+
+use super::state::FaultStage;
+use super::{MCtx, SvmAgent};
+
+impl SvmAgent {
+    /// Begin a home fetch for `n`'s fault on `page`.
+    pub(crate) fn start_home_fetch(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
+        let home = self.resolve_home(page, n);
+        let idx = n.index();
+        if home == n {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            if st.home_stale {
+                // Our own home copy is waiting for an in-flight diff: stall
+                // until it lands (no message needed).
+                self.counters[idx].home_stalls += 1;
+                st.local_waiter = true;
+                self.nodes_st[idx].fault.as_mut().expect("fault").stage =
+                    FaultStage::AwaitHomeDiffs;
+                return;
+            }
+            // First-touch just materialized the page here (or it was
+            // already valid): finish immediately.
+            debug_assert!(st.access.readable());
+            self.finish_fault(ctx, n);
+            return;
+        }
+        let need = self.nodes_st[idx].pages[page.0 as usize].seen.to_vec();
+        let to = self.data_proc(home);
+        self.send_or_local(
+            ctx,
+            to,
+            SvmMsg::HomeRequest {
+                page,
+                requester: n,
+                need,
+            },
+        );
+    }
+
+    /// The home services a fetch (or queues it behind missing diffs).
+    pub(crate) fn on_home_request(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        h: NodeId,
+        page: PageNum,
+        requester: NodeId,
+        need: Vec<(NodeId, u32)>,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        debug_assert_eq!(
+            self.dir[page.0 as usize].home,
+            Some(h),
+            "request reached non-home"
+        );
+        let ready = self.nodes_st[h.index()].pages[page.0 as usize]
+            .applied
+            .covers(&need);
+        if ready {
+            self.reply_home_page(ctx, h, page, requester);
+        } else {
+            self.nodes_st[h.index()].pages[page.0 as usize]
+                .waiting_fetches
+                .push((requester, need));
+        }
+    }
+
+    fn reply_home_page(&mut self, ctx: &mut MCtx<'_>, h: NodeId, page: PageNum, to: NodeId) {
+        let st = &mut self.nodes_st[h.index()].pages[page.0 as usize];
+        let data = st
+            .buf
+            .as_mut()
+            .expect("home holds the master copy")
+            .to_vec();
+        let applied = st.applied.to_vec();
+        self.send_or_local(
+            ctx,
+            ProcAddr::cpu(to),
+            SvmMsg::HomeReply {
+                page,
+                data,
+                applied,
+            },
+        );
+    }
+
+    /// A diff flushed by a writer lands at the home and is applied eagerly.
+    pub(crate) fn on_diff_flush(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        h: NodeId,
+        page: PageNum,
+        writer: NodeId,
+        interval: u32,
+        diff: Diff,
+    ) {
+        debug_assert_eq!(
+            self.dir[page.0 as usize].home,
+            Some(h),
+            "flush reached non-home"
+        );
+        // Software diff application cost — except under AURC, whose updates
+        // land in memory by hardware DMA (software pays nothing).
+        if !self.cfg.protocol.auto_update() {
+            let apply = ctx.cost().diff_apply(diff.payload_bytes());
+            ctx.work(apply, Category::Protocol);
+        }
+        let idx = h.index();
+        {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            // SAFETY: kernel phase; app threads parked. The home's copy is
+            // the master; applying in place is the protocol (Section 2.3).
+            diff.apply(unsafe { st.buf.as_ref().expect("home copy").bytes_mut() });
+            st.applied.raise(writer, interval);
+        }
+        self.counters[idx].diffs_applied += 1;
+        self.after_home_progress(ctx, h, page);
+    }
+
+    /// After the home's `applied` advanced: wake stalled locals and queued
+    /// fetches whose version checks now pass.
+    fn after_home_progress(&mut self, ctx: &mut MCtx<'_>, h: NodeId, page: PageNum) {
+        let idx = h.index();
+        // Local reader stalled on an in-flight diff?
+        let wake_local = {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            if st.home_stale && st.applied.covers(&st.seen.to_vec()) {
+                st.home_stale = false;
+                if st.access == Access::Invalid {
+                    st.access = Access::ReadOnly;
+                }
+                std::mem::take(&mut st.local_waiter)
+            } else {
+                false
+            }
+        };
+        if wake_local {
+            debug_assert!(matches!(
+                self.nodes_st[idx]
+                    .fault
+                    .as_ref()
+                    .expect("stalled fault")
+                    .stage,
+                FaultStage::AwaitHomeDiffs
+            ));
+            self.finish_fault(ctx, h);
+        }
+        // Remote fetches whose requirements are now satisfied.
+        let ready: Vec<NodeId> = {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            let mut ready = Vec::new();
+            let mut keep = Vec::new();
+            let queued = std::mem::take(&mut st.waiting_fetches);
+            for (req, need) in queued {
+                if st.applied.covers(&need) {
+                    ready.push(req);
+                } else {
+                    keep.push((req, need));
+                }
+            }
+            st.waiting_fetches = keep;
+            ready
+        };
+        for r in ready {
+            self.reply_home_page(ctx, h, page, r);
+        }
+    }
+
+    /// The fetched page arrives at the faulting node.
+    pub(crate) fn on_home_reply(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        r: NodeId,
+        page: PageNum,
+        data: Vec<u8>,
+        applied: Vec<(NodeId, u32)>,
+    ) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let idx = r.index();
+        self.counters[idx].full_page_fetches += 1;
+        {
+            let st = &mut self.nodes_st[idx].pages[page.0 as usize];
+            match &mut st.buf {
+                Some(buf) => buf.copy_from(&data),
+                none => *none = Some(PageBuf::from_slice(&data)),
+            }
+            st.applied.merge_max(&applied);
+            st.seen.merge_max(&applied);
+            st.access = Access::ReadOnly;
+        }
+        debug_assert!(matches!(
+            self.nodes_st[idx].fault.as_ref().expect("fault").stage,
+            FaultStage::AwaitHome
+        ));
+        self.finish_fault(ctx, r);
+    }
+}

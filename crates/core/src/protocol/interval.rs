@@ -1,0 +1,284 @@
+//! Interval management: ends, write-notice records, and diff production.
+//!
+//! An interval on node P ends when (i) P performs a remote acquire, (ii) P
+//! produces a grant for a remote lock request, or (iii) P enters a barrier
+//! (paper Section 2.1). Ending an interval turns the dirty-page set into a
+//! write-notice record and resolves every twin into a diff: stored locally
+//! (homeless), flushed to the page's home (home-based), or posted to the
+//! co-processor (overlapped variants).
+
+use std::rc::Rc;
+
+use svm_machine::{Category, NodeId, ProcKind};
+use svm_mem::{Access, Diff, PageNum};
+
+use crate::msg::{IntervalRec, SvmMsg};
+use crate::vt::VectorTime;
+
+use super::state::StoredDiff;
+use super::{MCtx, SvmAgent};
+
+impl SvmAgent {
+    /// Close `n`'s current interval (no-op when nothing was written).
+    pub(crate) fn end_interval(&mut self, ctx: &mut MCtx<'_>, n: NodeId) {
+        let idx = n.index();
+        if self.nodes_st[idx].dirty.is_empty() {
+            return;
+        }
+        let interval = self.nodes_st[idx].vt.bump(n);
+        self.counters[idx].intervals += 1;
+        let dirty = std::mem::take(&mut self.nodes_st[idx].dirty);
+        let rec_vt = if self.homeless() {
+            self.nodes_st[idx].vt.clone()
+        } else {
+            VectorTime::zero(0) // home-based write notices carry no vector
+        };
+        let rec = Rc::new(IntervalRec {
+            writer: n,
+            interval,
+            vt: rec_vt.clone(),
+            pages: dirty.clone(),
+        });
+        if crate::trace::trace_on() {
+            eprintln!(
+                "T end_interval {n:?} i{interval} vt={:?} pages={:?}",
+                self.nodes_st[idx].vt, rec.pages
+            );
+        }
+        self.counters[idx].mem.notices(rec.bytes() as i64);
+        self.nodes_st[idx].log.insert((n.0, interval), rec);
+
+        let overlapped = self.overlapped();
+        let homeless = self.homeless();
+        let auto_update = self.cfg.protocol.auto_update();
+        let ps = self.page_size();
+        let mut task_items: Vec<(PageNum, Diff)> = Vec::new();
+
+        for p in dirty {
+            // Write-protect the page so the next write re-twins, and
+            // downgrade the application's cached mapping to match.
+            let protect = ctx.cost().page_protect;
+            ctx.work(protect, Category::Protocol);
+            self.downgrade_mapping(n, p);
+            let st = &mut self.nodes_st[idx].pages[p.0 as usize];
+            debug_assert_eq!(st.access, Access::ReadWrite, "dirty page must be writable");
+            st.access = Access::ReadOnly;
+            st.applied.raise(n, interval);
+            st.seen.raise(n, interval);
+
+            let is_home = !homeless && self.dir[p.0 as usize].home == Some(n);
+            if is_home {
+                // The home's copy is the master: its writes are already "in
+                // place"; no twin was taken, no diff is needed (paper
+                // Section 4.4, the home effect).
+                debug_assert!(self.nodes_st[idx].pages[p.0 as usize].twin.is_none());
+                continue;
+            }
+
+            let twin = self.nodes_st[idx].pages[p.0 as usize]
+                .twin
+                .take()
+                .expect("dirty non-home page must have a twin");
+            if !auto_update {
+                self.counters[idx].mem.twins(-(ps as i64));
+            }
+
+            if overlapped {
+                // Freeze the diff content now (the page may be rewritten or
+                // receive foreign diffs before the co-processor runs); the
+                // computation time is charged when the task executes.
+                let diff = {
+                    let st = &self.nodes_st[idx].pages[p.0 as usize];
+                    // SAFETY: kernel phase; application threads are parked.
+                    let cur = unsafe { st.buf.as_ref().expect("dirty page has a copy").bytes() };
+                    Diff::create(&twin, cur)
+                };
+                self.nodes_st[idx].pending_diffs.insert((p.0, interval));
+                task_items.push((p, diff));
+                continue;
+            }
+
+            // Non-overlapped: the compute processor diffs right here — for
+            // free under AURC, where the snooping hardware already
+            // propagated the writes (the "diff" below only reconstructs
+            // what the hardware sent; see the module docs).
+            if !auto_update {
+                let create = ctx.cost().diff_create(ps);
+                ctx.work(create, Category::Protocol);
+            }
+            let diff = {
+                let st = &self.nodes_st[idx].pages[p.0 as usize];
+                // SAFETY: kernel phase; application threads are parked.
+                let cur = unsafe { st.buf.as_ref().expect("dirty page has a copy").bytes() };
+                Rc::new(Diff::create(&twin, cur))
+            };
+            self.finish_diff(ctx, n, p, interval, &rec_vt, diff, ProcKind::Cpu);
+        }
+
+        if !task_items.is_empty() {
+            let post = ctx.cost().coproc_post;
+            ctx.work(post, Category::Protocol);
+            ctx.post_local(
+                ProcKind::CoProc,
+                SvmMsg::DiffTask {
+                    interval,
+                    vt: rec_vt,
+                    items: task_items,
+                },
+            );
+        }
+    }
+
+    /// Account a freshly created diff and route it (store or flush home).
+    #[allow(clippy::too_many_arguments)] // diff identity is naturally wide
+    fn finish_diff(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        n: NodeId,
+        page: PageNum,
+        interval: u32,
+        vt: &VectorTime,
+        diff: Rc<Diff>,
+        _on: ProcKind,
+    ) {
+        let idx = n.index();
+        self.counters[idx].diffs_created += 1;
+        self.counters[idx].diff_bytes_created += diff.payload_bytes() as u64;
+        if self.homeless() {
+            let bytes = (diff.heap_bytes() + vt.bytes()) as i64;
+            self.counters[idx].mem.diffs(bytes);
+            self.nodes_st[idx]
+                .diff_store
+                .entry(page.0)
+                .or_default()
+                .push(StoredDiff {
+                    interval,
+                    vt: vt.clone(),
+                    diff,
+                });
+        } else {
+            let home = self.dir[page.0 as usize]
+                .home
+                .expect("home resolved for dirty page");
+            debug_assert_ne!(home, n, "home pages produce no diffs");
+            // HLRC flushes to the home's compute processor; OHLRC to its
+            // co-processor (which also applies it there); AURC's hardware
+            // delivers into the home's network interface (modeled as the
+            // co-processor) with write-through amplification: one burst per
+            // run plus ~40% re-write traffic (Section 2.2's bandwidth
+            // cost).
+            let to = if self.cfg.protocol.auto_update() {
+                svm_machine::ProcAddr::coproc(home)
+            } else {
+                self.data_proc(home)
+            };
+            if self.cfg.protocol.auto_update() && home != n {
+                let extra_msgs = (diff.runs().len() as u64).saturating_sub(1);
+                let extra_bytes = diff.payload_bytes() * 2 / 5;
+                ctx.record_traffic(
+                    n,
+                    svm_machine::TrafficClass::Data,
+                    extra_msgs.max(1),
+                    extra_bytes,
+                );
+            }
+            let msg = SvmMsg::DiffFlush {
+                page,
+                writer: n,
+                interval,
+                diff: match Rc::try_unwrap(diff) {
+                    Ok(d) => d,
+                    Err(rc) => (*rc).clone(),
+                },
+            };
+            self.send_or_local(ctx, to, msg);
+        }
+    }
+
+    /// Co-processor execution of a posted diff task (overlapped variants):
+    /// charge the diff-scan time, then store or flush the frozen diff.
+    pub(crate) fn on_diff_task(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        n: NodeId,
+        interval: u32,
+        vt: VectorTime,
+        items: Vec<(PageNum, Diff)>,
+    ) {
+        let idx = n.index();
+        let ps = self.page_size();
+        for (p, diff) in items {
+            let create = ctx.cost().diff_create(ps);
+            ctx.work(create, Category::Protocol);
+            self.nodes_st[idx].pending_diffs.remove(&(p.0, interval));
+            self.finish_diff(ctx, n, p, interval, &vt, Rc::new(diff), ProcKind::CoProc);
+            self.serve_parked_diff_requests(ctx, n, p);
+        }
+    }
+
+    /// Apply a batch of write-notice records at `n` (acquire or barrier
+    /// departure): learn intervals, invalidate stale copies.
+    pub(crate) fn process_records(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        n: NodeId,
+        records: &[Rc<IntervalRec>],
+    ) {
+        let idx = n.index();
+        let homeless = self.homeless();
+        let mut invalidated = 0usize;
+        for rec in records {
+            if rec.writer == n {
+                continue;
+            }
+            let key = (rec.writer.0, rec.interval);
+            if !self.nodes_st[idx].log.contains_key(&key) {
+                self.counters[idx].mem.notices(rec.bytes() as i64);
+                self.nodes_st[idx].log.insert(key, rec.clone());
+            }
+            let is_home_based = !homeless;
+            for &p in &rec.pages {
+                let home = self.dir[p.0 as usize].home;
+                let st = &mut self.nodes_st[idx].pages[p.0 as usize];
+                if crate::trace::trace_on() {
+                    eprintln!(
+                        "T proc_rec at {n:?}: writer {:?} i{} page {:?} applied={}",
+                        rec.writer,
+                        rec.interval,
+                        p,
+                        st.applied.get(rec.writer)
+                    );
+                }
+                st.seen.raise(rec.writer, rec.interval);
+                if rec.interval <= st.applied.get(rec.writer) {
+                    continue; // already reflected in our copy
+                }
+                debug_assert!(st.twin.is_none(), "live twin at record processing");
+                if is_home_based && home == Some(n) {
+                    // The home never discards its copy; it just waits for
+                    // the in-flight diff (paper Section 2.4.2).
+                    st.home_stale = true;
+                }
+                if st.access != Access::Invalid {
+                    st.access = Access::Invalid;
+                    invalidated += 1;
+                    self.drop_mapping(n, p);
+                }
+            }
+        }
+        if invalidated > 0 {
+            let cost = ctx.cost().invalidate(invalidated);
+            ctx.work(cost, Category::Protocol);
+        }
+    }
+
+    /// Select records from `n`'s log that `peer_vt` has not seen.
+    pub(crate) fn records_for(&self, n: NodeId, peer_vt: &VectorTime) -> Vec<Rc<IntervalRec>> {
+        self.nodes_st[n.index()]
+            .log
+            .values()
+            .filter(|r| r.interval > peer_vt.get(r.writer))
+            .cloned()
+            .collect()
+    }
+}

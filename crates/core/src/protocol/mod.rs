@@ -1,0 +1,342 @@
+//! The protocol agent: LRC, HLRC, and their overlapped variants.
+//!
+//! One [`SvmAgent`] holds the state of every node (the simulator plays the
+//! role of all nodes' protocol layers); handlers are invoked by the machine
+//! with the processor they occupy, so work is priced on the right resource.
+//! Node-local shortcuts (manager == self, home == self…) dispatch inline
+//! instead of sending wire messages, matching the real implementations.
+
+pub mod fault;
+pub mod gc;
+pub mod home;
+pub mod interval;
+pub mod state;
+pub mod sync;
+
+use svm_machine::{Agent, Ctx, NodeId, ProcAddr, ProcKind};
+use svm_mem::{Geometry, PageBuf, PageNum};
+use svm_sim::{HandoffCell, SimDuration, SimTime};
+
+use crate::api::{BarrierId, Mapping, NodeCache};
+use crate::config::{HomePolicy, ProtocolKind, SvmConfig};
+use crate::metrics::NodeCounters;
+use crate::msg::{SvmMsg, SvmReq};
+use crate::vt::VectorTime;
+
+use state::{DirEntry, ProtoNode};
+
+/// Handler context alias.
+pub type MCtx<'a> = Ctx<'a, SvmAgent>;
+
+/// Barrier bookkeeping at the (centralized) manager, node 0.
+pub struct BarrierState {
+    /// Completed barriers so far (the "barrier sequence number").
+    pub seq: u64,
+    /// The barrier id currently gathering (sanity check).
+    pub current: Option<BarrierId>,
+    /// Arrival vector times this round.
+    pub arrived: Vec<Option<VectorTime>>,
+    /// Arrivals so far.
+    pub count: usize,
+    /// A node reported protocol memory above the GC threshold.
+    pub gc_wanted: bool,
+    /// Per-node GC work computed at release time.
+    pub gc_cost: Vec<SimDuration>,
+    /// Records gathered this round, keyed by `(writer, interval)`.
+    ///
+    /// Kept apart from the manager node's own forwarding log: mixing them
+    /// would let the manager's lock grants hand out records it has not
+    /// causally seen, without their happens-before predecessors.
+    pub archive: std::collections::BTreeMap<(u16, u32), std::rc::Rc<crate::msg::IntervalRec>>,
+}
+
+impl BarrierState {
+    fn new(nodes: usize) -> Self {
+        BarrierState {
+            seq: 0,
+            current: None,
+            arrived: vec![None; nodes],
+            count: 0,
+            gc_wanted: false,
+            gc_cost: vec![SimDuration::ZERO; nodes],
+            archive: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+/// The protocol implementation behind all four configurations.
+pub struct SvmAgent {
+    /// Run configuration.
+    pub cfg: SvmConfig,
+    /// Page geometry.
+    pub geometry: Geometry,
+    /// Pages in the shared address space.
+    pub num_pages: u32,
+    /// Per-node protocol state.
+    pub nodes_st: Vec<ProtoNode>,
+    /// Global page directory (homes / validators).
+    pub dir: Vec<DirEntry>,
+    /// Lock manager state by lock id (lives at `lock % P`).
+    pub lock_mgr: std::collections::HashMap<u32, state::LockManagerState>,
+    /// Barrier manager state (node 0).
+    pub barrier: BarrierState,
+    /// Per-node protocol counters.
+    pub counters: Vec<NodeCounters>,
+    /// Per-node `(barrier seq, time, cumulative breakdown)` marks.
+    pub barrier_marks: Vec<Vec<(u64, SimTime, svm_machine::Breakdown)>>,
+    /// Per-node application mapping caches.
+    pub caches: Vec<HandoffCell<NodeCache>>,
+    /// The initialized data image (for lazy first-touch materialization).
+    pub golden: Vec<u8>,
+}
+
+impl SvmAgent {
+    /// Build the agent: resolve the directory and place the initial page
+    /// copies (each page's directory node starts with the initialized data).
+    pub fn new(
+        cfg: SvmConfig,
+        geometry: Geometry,
+        num_pages: u32,
+        mut golden: Vec<u8>,
+        explicit_homes: Vec<Option<NodeId>>,
+        caches: Vec<HandoffCell<NodeCache>>,
+    ) -> Self {
+        let nodes = cfg.nodes;
+        let ps = geometry.page_size();
+        golden.resize(num_pages as usize * ps, 0);
+        let mut nodes_st: Vec<ProtoNode> = (0..nodes)
+            .map(|_| ProtoNode::new(nodes, num_pages))
+            .collect();
+        let mut dir = Vec::with_capacity(num_pages as usize);
+        for p in 0..num_pages {
+            let page = PageNum(p);
+            let fallback = cfg.home_policy.default_home(page, nodes);
+            let home = match cfg.home_policy {
+                HomePolicy::RoundRobin => Some(fallback),
+                HomePolicy::Explicit => Some(
+                    explicit_homes
+                        .get(p as usize)
+                        .copied()
+                        .flatten()
+                        .unwrap_or(fallback),
+                ),
+                HomePolicy::FirstTouch => None,
+            };
+            // The directory node holds the initialized copy at spawn (the
+            // post-initialization distribution); under first-touch it stays
+            // in the golden image until someone faults.
+            let owner = home.unwrap_or(NodeId(0));
+            if home.is_some() || matches!(cfg.home_policy, HomePolicy::FirstTouch) {
+                let st = &mut nodes_st[owner.index()].pages[p as usize];
+                if home.is_some() {
+                    let base = p as usize * ps;
+                    st.buf = Some(PageBuf::from_slice(&golden[base..base + ps]));
+                    st.access = svm_mem::Access::ReadOnly;
+                }
+            }
+            dir.push(DirEntry {
+                home,
+                validator: owner,
+            });
+        }
+        SvmAgent {
+            counters: vec![NodeCounters::default(); nodes],
+            barrier_marks: vec![Vec::new(); nodes],
+            barrier: BarrierState::new(nodes),
+            lock_mgr: std::collections::HashMap::new(),
+            nodes_st,
+            dir,
+            caches,
+            cfg,
+            geometry,
+            num_pages,
+            golden,
+        }
+    }
+
+    /// Whether this run is homeless (LRC/OLRC).
+    pub fn homeless(&self) -> bool {
+        self.cfg.protocol.kind() == ProtocolKind::Lrc
+    }
+
+    /// Whether protocol work is offloaded to co-processors.
+    pub fn overlapped(&self) -> bool {
+        self.cfg.protocol.overlapped()
+    }
+
+    /// The processor that services data requests on `node` (co-processor in
+    /// the overlapped protocols, compute processor otherwise).
+    pub fn data_proc(&self, node: NodeId) -> ProcAddr {
+        if self.overlapped() {
+            ProcAddr::coproc(node)
+        } else {
+            ProcAddr::cpu(node)
+        }
+    }
+
+    /// The page size.
+    pub fn page_size(&self) -> usize {
+        self.geometry.page_size()
+    }
+
+    /// Resolve `page`'s home, assigning it to `toucher` under first-touch.
+    pub fn resolve_home(&mut self, page: PageNum, toucher: NodeId) -> NodeId {
+        let e = &mut self.dir[page.0 as usize];
+        if let Some(h) = e.home {
+            return h;
+        }
+        // First touch: the page materializes at the toucher with the
+        // initialized data (physical placement by the first access).
+        e.home = Some(toucher);
+        e.validator = toucher;
+        let ps = self.geometry.page_size();
+        let base = page.0 as usize * ps;
+        let st = &mut self.nodes_st[toucher.index()].pages[page.0 as usize];
+        debug_assert!(st.buf.is_none());
+        st.buf = Some(PageBuf::from_slice(&self.golden[base..base + ps]));
+        st.access = svm_mem::Access::ReadOnly;
+        toucher
+    }
+
+    /// Send `msg` to a processor, or dispatch inline when it targets the
+    /// node the handler already runs on.
+    pub fn send_or_local(&mut self, ctx: &mut MCtx<'_>, to: ProcAddr, msg: SvmMsg) {
+        if to.node == ctx.here().node {
+            let from = ctx.here();
+            self.dispatch(ctx, to, from, msg);
+        } else {
+            ctx.send(to, msg);
+        }
+    }
+
+    /// Install a mapping into `node`'s application cache.
+    pub fn install_mapping(&mut self, node: NodeId, page: PageNum, writable: bool) {
+        let ptr = self.nodes_st[node.index()].pages[page.0 as usize]
+            .buf
+            .as_ref()
+            .expect("mapping a page without a copy")
+            .as_ptr();
+        // SAFETY: handlers run in kernel phases; every application thread is
+        // parked, so the HandoffCell contract holds.
+        let cache = unsafe { self.caches[node.index()].get_mut() };
+        cache.slots[page.0 as usize] = Some(Mapping { ptr, writable });
+    }
+
+    /// Remove `node`'s mapping for `page` (invalidation).
+    pub fn drop_mapping(&mut self, node: NodeId, page: PageNum) {
+        // SAFETY: kernel phase (see install_mapping).
+        let cache = unsafe { self.caches[node.index()].get_mut() };
+        cache.slots[page.0 as usize] = None;
+    }
+
+    /// Make `node`'s mapping for `page` read-only (interval end).
+    pub fn downgrade_mapping(&mut self, node: NodeId, page: PageNum) {
+        // SAFETY: kernel phase (see install_mapping).
+        let cache = unsafe { self.caches[node.index()].get_mut() };
+        if let Some(m) = &mut cache.slots[page.0 as usize] {
+            m.writable = false;
+        }
+    }
+
+    /// Message dispatch shared by `on_message` and local shortcuts.
+    fn dispatch(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: SvmMsg) {
+        if crate::trace::trace_on() {
+            eprintln!(
+                "T {:>12.3}us  {from} -> {at}  {}",
+                ctx.now().as_nanos() as f64 / 1e3,
+                msg.kind_name()
+            );
+        }
+        match msg {
+            SvmMsg::LockRequest {
+                lock,
+                requester,
+                vt,
+            } => self.mgr_lock_request(ctx, at.node, lock, requester, vt),
+            SvmMsg::LockForward {
+                lock,
+                requester,
+                vt,
+            } => self.on_lock_forward(ctx, at.node, lock, requester, vt),
+            SvmMsg::LockGrant { lock, vt, records } => {
+                self.on_lock_grant(ctx, at.node, lock, vt, records)
+            }
+            SvmMsg::BarrierArrive {
+                barrier,
+                node,
+                vt,
+                records,
+                proto_mem,
+            } => self.on_barrier_arrive(ctx, barrier, node, vt, records, proto_mem),
+            SvmMsg::BarrierRelease {
+                barrier,
+                vt,
+                records,
+                gc,
+            } => self.on_barrier_release(ctx, at.node, barrier, vt, records, gc),
+            SvmMsg::DiffRequest {
+                page,
+                requester,
+                writer,
+                from_excl,
+                to_incl,
+            } => {
+                debug_assert_eq!(writer, at.node);
+                self.on_diff_request(ctx, at.node, page, requester, from_excl, to_incl)
+            }
+            SvmMsg::DiffReply { page, diffs } => self.on_diff_reply(ctx, at.node, page, diffs),
+            SvmMsg::PageRequest { page, requester } => {
+                self.on_page_request(ctx, at.node, page, requester)
+            }
+            SvmMsg::PageReply {
+                page,
+                data,
+                applied,
+            } => self.on_page_reply(ctx, at.node, page, data, applied),
+            SvmMsg::DiffFlush {
+                page,
+                writer,
+                interval,
+                diff,
+            } => self.on_diff_flush(ctx, at.node, page, writer, interval, diff),
+            SvmMsg::HomeRequest {
+                page,
+                requester,
+                need,
+            } => self.on_home_request(ctx, at.node, page, requester, need),
+            SvmMsg::HomeReply {
+                page,
+                data,
+                applied,
+            } => self.on_home_reply(ctx, at.node, page, data, applied),
+            SvmMsg::DiffTask {
+                interval,
+                vt,
+                items,
+            } => {
+                debug_assert_eq!(at.kind, ProcKind::CoProc);
+                debug_assert_eq!(from.node, at.node);
+                self.on_diff_task(ctx, at.node, interval, vt, items)
+            }
+        }
+    }
+}
+
+impl Agent for SvmAgent {
+    type Msg = SvmMsg;
+    type Req = SvmReq;
+    type Resp = ();
+
+    fn on_message(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: SvmMsg) {
+        self.dispatch(ctx, at, from, msg);
+    }
+
+    fn on_request(&mut self, ctx: &mut MCtx<'_>, node: NodeId, req: SvmReq) {
+        match req {
+            SvmReq::Fault { page, write } => self.on_fault(ctx, node, page, write),
+            SvmReq::Lock(l) => self.on_lock(ctx, node, l),
+            SvmReq::Unlock(l) => self.on_unlock(ctx, node, l),
+            SvmReq::Barrier(b) => self.on_barrier(ctx, node, b),
+        }
+    }
+}

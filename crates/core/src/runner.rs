@@ -1,0 +1,293 @@
+//! Wiring: allocate and initialize shared data, spawn the machine, run a
+//! program under a protocol, and collect the report.
+
+use std::sync::Arc;
+
+use svm_machine::{Breakdown, NodeId, RunOutcome, World};
+use svm_mem::{GAddr, Geometry, GlobalHeap};
+use svm_sim::HandoffCell;
+
+use crate::api::{AppPort, NodeCache, Scalar, SharedArr, SvmCtx};
+use crate::config::{ProtocolName, SvmConfig};
+use crate::metrics::ProtocolReport;
+use crate::protocol::SvmAgent;
+
+/// The initialization-phase handle: `G_MALLOC` plus golden-image writes and
+/// home-placement hints. Runs once, "on node 0, before spawning the
+/// workers" (paper Section 3.2).
+pub struct Setup {
+    heap: GlobalHeap,
+    golden: Vec<u8>,
+    homes: std::collections::HashMap<u32, NodeId>,
+    nodes: usize,
+}
+
+impl Setup {
+    fn new(geometry: Geometry, nodes: usize) -> Self {
+        Setup {
+            heap: GlobalHeap::new(geometry),
+            golden: Vec::new(),
+            homes: std::collections::HashMap::new(),
+            nodes,
+        }
+    }
+
+    /// Number of nodes the program will run on.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.heap.geometry().page_size()
+    }
+
+    fn ensure_golden(&mut self) {
+        let need = self.heap.allocated_bytes() as usize;
+        if self.golden.len() < need {
+            self.golden.resize(need, 0);
+        }
+    }
+
+    /// Allocate a shared array of `n` scalars (naturally aligned).
+    pub fn alloc_array<T: Scalar>(&mut self, n: usize, label: &str) -> SharedArr<T> {
+        let size = std::mem::size_of::<T>();
+        let base = self
+            .heap
+            .alloc((n * size) as u64, size.max(8) as u64, label);
+        self.ensure_golden();
+        SharedArr::from_raw(base, n)
+    }
+
+    /// Allocate a page-aligned, page-padded shared array (the Splash-2
+    /// idiom for avoiding false sharing between partitions).
+    pub fn alloc_array_pages<T: Scalar>(&mut self, n: usize, label: &str) -> SharedArr<T> {
+        let size = std::mem::size_of::<T>();
+        let base = self.heap.alloc_pages((n * size) as u64, label);
+        self.ensure_golden();
+        SharedArr::from_raw(base, n)
+    }
+
+    /// Initialize element `i` in the golden image.
+    pub fn init<T: Scalar>(&mut self, arr: &SharedArr<T>, i: usize, v: T) {
+        let a = arr.addr(i).0 as usize;
+        let size = std::mem::size_of::<T>();
+        self.golden[a..a + size].copy_from_slice(&v.to_raw()[..size]);
+    }
+
+    /// Read back an initialized element (for reference computations).
+    pub fn init_read<T: Scalar>(&self, arr: &SharedArr<T>, i: usize) -> T {
+        let a = arr.addr(i).0 as usize;
+        let size = std::mem::size_of::<T>();
+        let mut raw = [0u8; 8];
+        raw[..size].copy_from_slice(&self.golden[a..a + size]);
+        T::from_raw(raw)
+    }
+
+    /// Initialize a whole array from a slice.
+    pub fn init_from<T: Scalar>(&mut self, arr: &SharedArr<T>, src: &[T]) {
+        assert_eq!(src.len(), arr.len());
+        for (i, v) in src.iter().enumerate() {
+            self.init(arr, i, *v);
+        }
+    }
+
+    /// Hint: the pages of `arr[range]` belong to `node` (used as home under
+    /// [`crate::HomePolicy::Explicit`], and as the initial copy owner in all
+    /// protocols).
+    pub fn assign_home<T: Scalar>(
+        &mut self,
+        arr: &SharedArr<T>,
+        range: std::ops::Range<usize>,
+        node: usize,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        let size = std::mem::size_of::<T>();
+        let start = arr.addr(range.start);
+        let len = (range.end - range.start) * size;
+        self.assign_home_bytes(start, len, node);
+    }
+
+    /// Hint: the pages of `[addr, addr+len)` belong to `node`.
+    pub fn assign_home_bytes(&mut self, addr: GAddr, len: usize, node: usize) {
+        assert!(node < self.nodes);
+        for p in self.heap.geometry().pages_spanned(addr, len) {
+            self.homes.insert(p, NodeId(node as u16));
+        }
+    }
+}
+
+/// Everything a run produced: timing, breakdowns, traffic, and protocol
+/// counters — the raw material for every table and figure in the paper.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Which protocol ran.
+    pub protocol: ProtocolName,
+    /// How many nodes.
+    pub nodes: usize,
+    /// Machine-level outcome: total time, per-node breakdowns, traffic.
+    pub outcome: RunOutcome,
+    /// Protocol-level counters and barrier marks.
+    pub counters: ProtocolReport,
+    /// Application (shared-data) bytes allocated.
+    pub app_bytes: u64,
+    /// Pages in the shared address space.
+    pub num_pages: u32,
+}
+
+impl RunReport {
+    /// Parallel execution time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.outcome.total_time.as_secs_f64()
+    }
+
+    /// Speedup against a sequential time in seconds.
+    pub fn speedup_vs(&self, seq_secs: f64) -> f64 {
+        seq_secs / self.secs()
+    }
+
+    /// Average per-node execution-time breakdown (paper Figure 3).
+    pub fn avg_breakdown(&self) -> Breakdown {
+        let sum = self
+            .outcome
+            .breakdowns
+            .iter()
+            .fold(Breakdown::default(), |acc, b| acc.add(b));
+        sum.div(self.outcome.breakdowns.len() as u64)
+    }
+}
+
+/// Run `body` on every node of a fresh machine under `config`.
+///
+/// `setup` allocates and initializes the shared data and returns the layout
+/// (plain data cloned to every node); `body` is the per-node program.
+///
+/// # Panics
+///
+/// Panics if the application panics on any node or the protocol deadlocks
+/// (with diagnostics from the machine layer).
+pub fn run<L, S, B>(config: &SvmConfig, setup: S, body: B) -> RunReport
+where
+    L: Clone + Send + 'static,
+    S: FnOnce(&mut Setup) -> L,
+    B: Fn(&SvmCtx<'_>, &L) + Send + Sync + 'static,
+{
+    let geometry = Geometry::new(config.page_size());
+    let nodes = config.nodes;
+    assert!(nodes >= 1 && nodes <= u16::MAX as usize);
+
+    let mut s = Setup::new(geometry, nodes);
+    let layout = setup(&mut s);
+    let Setup {
+        heap,
+        mut golden,
+        homes,
+        ..
+    } = s;
+    let num_pages = heap.num_pages().max(1);
+    golden.resize(num_pages as usize * geometry.page_size(), 0);
+    let explicit_homes: Vec<Option<NodeId>> =
+        (0..num_pages).map(|p| homes.get(&p).copied()).collect();
+
+    let caches: Vec<HandoffCell<NodeCache>> = (0..nodes)
+        .map(|_| HandoffCell::new(NodeCache::new(num_pages as usize)))
+        .collect();
+
+    let agent = SvmAgent::new(
+        config.clone(),
+        geometry,
+        num_pages,
+        golden,
+        explicit_homes,
+        caches.clone(),
+    );
+
+    let body = Arc::new(body);
+    let bodies: Vec<svm_machine::machine::AppBody<SvmAgent>> = (0..nodes)
+        .map(|i| {
+            let body = Arc::clone(&body);
+            let layout = layout.clone();
+            let cell = caches[i].clone();
+            let b: svm_machine::machine::AppBody<SvmAgent> = Box::new(move |port: &AppPort| {
+                let ctx = SvmCtx::new(port, cell, geometry, i, nodes);
+                body(&ctx, &layout);
+            });
+            b
+        })
+        .collect();
+
+    let (outcome, agent) = World::new(config.cost.clone(), agent, bodies).run();
+
+    // Sanity: the protocols must leave no dangling fault state. (Open
+    // intervals at exit are fine: nothing synchronizes after the end.)
+    for (i, n) in agent.nodes_st.iter().enumerate() {
+        assert!(
+            n.fault.is_none(),
+            "node {i} finished with an outstanding fault"
+        );
+    }
+
+    RunReport {
+        protocol: config.protocol,
+        nodes,
+        outcome,
+        counters: ProtocolReport {
+            nodes: agent.counters,
+            barrier_marks: agent.barrier_marks,
+        },
+        app_bytes: heap.allocated_bytes(),
+        num_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm_mem::Geometry;
+
+    #[test]
+    fn setup_alloc_and_init_roundtrip() {
+        let mut s = Setup::new(Geometry::new(4096), 4);
+        let a = s.alloc_array::<f64>(100, "a");
+        let b = s.alloc_array_pages::<u32>(10, "b");
+        assert_eq!(a.len(), 100);
+        s.init(&a, 7, 2.5);
+        s.init(&b, 3, 42);
+        assert_eq!(s.init_read(&a, 7), 2.5);
+        assert_eq!(s.init_read(&a, 8), 0.0, "untouched elements are zero");
+        assert_eq!(s.init_read(&b, 3), 42u32);
+        assert_eq!(b.addr(0).0 % 4096, 0, "page allocation is page-aligned");
+    }
+
+    #[test]
+    fn setup_init_from_fills_whole_array() {
+        let mut s = Setup::new(Geometry::new(4096), 2);
+        let a = s.alloc_array::<u64>(5, "a");
+        s.init_from(&a, &[1, 2, 3, 4, 5]);
+        for i in 0..5 {
+            assert_eq!(s.init_read(&a, i), (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn setup_home_hints_land_on_pages() {
+        let mut s = Setup::new(Geometry::new(4096), 4);
+        let a = s.alloc_array_pages::<u64>(1024, "a"); // 2 pages
+        s.assign_home(&a, 0..512, 1);
+        s.assign_home(&a, 512..1024, 3);
+        let p0 = s.heap.geometry().page_of(a.addr(0));
+        let p1 = s.heap.geometry().page_of(a.addr(512));
+        assert_eq!(s.homes.get(&p0.0), Some(&NodeId(1)));
+        assert_eq!(s.homes.get(&p1.0), Some(&NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn setup_rejects_out_of_range_home() {
+        let mut s = Setup::new(Geometry::new(4096), 2);
+        let a = s.alloc_array::<u64>(8, "a");
+        s.assign_home(&a, 0..8, 5);
+    }
+}

@@ -1,0 +1,10 @@
+//! Optional protocol event tracing (set `SVM_TRACE=1`).
+
+use std::sync::OnceLock;
+
+static TRACE: OnceLock<bool> = OnceLock::new();
+
+/// Whether protocol tracing is enabled (checked once per process).
+pub fn trace_on() -> bool {
+    *TRACE.get_or_init(|| std::env::var("SVM_TRACE").is_ok_and(|v| v != "0"))
+}

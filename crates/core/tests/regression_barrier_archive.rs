@@ -1,0 +1,68 @@
+//! Regression: the barrier manager must not mix arriving write-notice
+//! records into node 0's own forwarding log. Doing so let node 0's lock
+//! grants hand out records without their happens-before predecessors,
+//! losing updates (found by the random-program property test; this is the
+//! shrunk schedule).
+
+use svm_core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
+
+#[derive(Clone, Debug)]
+enum Step {
+    B(usize, u64),
+    T(u64),
+}
+use Step::*;
+
+#[test]
+fn barrier_archive_stays_out_of_manager_log() {
+    let schedules: Vec<Vec<Step>> = vec![
+        vec![B(3, 1), T(1), B(2, 1)],
+        vec![B(6, 1), B(5, 1), B(3, 1)],
+        vec![B(3, 200), T(380), T(89)],
+        vec![B(7, 1), B(7, 1), B(2, 1)],
+        vec![B(7, 1), B(6, 1)],
+    ];
+    let cells = 8usize;
+    let mut expected = vec![0u64; cells];
+    for s in &schedules {
+        for st in s {
+            if let B(c, _) = st {
+                expected[*c] += 1;
+            }
+        }
+    }
+    let cfg = SvmConfig::new(ProtocolName::Lrc, schedules.len());
+    run(
+        &cfg,
+        move |s| s.alloc_array::<u64>(cells, "cells"),
+        move |ctx, arr| {
+            for step in &schedules[ctx.node()] {
+                match step {
+                    B(cell, cs) => {
+                        let l = LockId(*cell as u32 % 5);
+                        ctx.lock(l);
+                        let v = arr.get(ctx, *cell);
+                        ctx.compute_us(*cs);
+                        arr.set(ctx, *cell, v + 1);
+                        ctx.unlock(l);
+                    }
+                    T(us) => ctx.compute_us(*us),
+                }
+            }
+            ctx.barrier(BarrierId(0));
+            for (c, want) in expected.iter().enumerate() {
+                let got = arr.get(ctx, c);
+                if got != *want {
+                    eprintln!(
+                        "MISMATCH node {} cell {c}: got {got} want {want}",
+                        ctx.node()
+                    );
+                }
+            }
+            ctx.barrier(BarrierId(1));
+            for (c, want) in expected.iter().enumerate() {
+                assert_eq!(arr.get(ctx, c), *want, "cell {c} node {}", ctx.node());
+            }
+        },
+    );
+}

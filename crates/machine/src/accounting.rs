@@ -1,0 +1,239 @@
+//! Per-node execution-time accounting in the paper's Figure-3 categories.
+//!
+//! At every instant a node is in exactly one category, determined by its
+//! state with a fixed priority: a compute-processor service block wins (its
+//! handler-declared category, typically [`Category::Protocol`]), then a
+//! blocked application request (tagged with why it blocked), then running
+//! application computation, then idle. The integral of this state function
+//! over the run is the node's breakdown; by construction the categories sum
+//! exactly to elapsed time — an invariant the tests assert.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use svm_sim::{SimDuration, SimTime};
+
+/// Why time passed on a node (paper Figure 3's stack segments).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// Application computation.
+    Compute,
+    /// Waiting for remote data (page or diff fetches) and moving it.
+    DataTransfer,
+    /// Lock acquire/release waiting.
+    Lock,
+    /// Barrier waiting.
+    Barrier,
+    /// Protocol overhead: twins, diffs, write notices, interrupt service.
+    Protocol,
+    /// Garbage collection of protocol data (homeless protocols only).
+    Gc,
+    /// Nothing to do (before start / after finish).
+    Idle,
+}
+
+/// All categories, in reporting order.
+pub const CATEGORIES: [Category; 7] = [
+    Category::Compute,
+    Category::DataTransfer,
+    Category::Lock,
+    Category::Barrier,
+    Category::Protocol,
+    Category::Gc,
+    Category::Idle,
+];
+
+impl Category {
+    fn slot(self) -> usize {
+        match self {
+            Category::Compute => 0,
+            Category::DataTransfer => 1,
+            Category::Lock => 2,
+            Category::Barrier => 3,
+            Category::Protocol => 4,
+            Category::Gc => 5,
+            Category::Idle => 6,
+        }
+    }
+
+    /// Short column label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Compute => "compute",
+            Category::DataTransfer => "data",
+            Category::Lock => "lock",
+            Category::Barrier => "barrier",
+            Category::Protocol => "proto",
+            Category::Gc => "gc",
+            Category::Idle => "idle",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Time per category.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Breakdown {
+    slots: [SimDuration; 7],
+}
+
+impl Breakdown {
+    /// Sum over all categories.
+    pub fn total(&self) -> SimDuration {
+        self.slots.iter().copied().sum()
+    }
+
+    /// Sum excluding [`Category::Idle`] (useful when nodes finish early).
+    pub fn busy(&self) -> SimDuration {
+        self.total() - self.slots[Category::Idle.slot()]
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Breakdown) -> Breakdown {
+        let mut out = self.clone();
+        for (a, b) in out.slots.iter_mut().zip(other.slots.iter()) {
+            *a += *b;
+        }
+        out
+    }
+
+    /// Element-wise difference (`other` must be component-wise <= `self`).
+    pub fn sub(&self, other: &Breakdown) -> Breakdown {
+        let mut out = self.clone();
+        for (a, b) in out.slots.iter_mut().zip(other.slots.iter()) {
+            *a -= *b;
+        }
+        out
+    }
+
+    /// Element-wise division by a count (averaging across nodes).
+    pub fn div(&self, n: u64) -> Breakdown {
+        let mut out = self.clone();
+        for a in out.slots.iter_mut() {
+            *a = *a / n;
+        }
+        out
+    }
+
+    /// Iterate `(category, duration)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, SimDuration)> + '_ {
+        CATEGORIES.iter().map(move |&c| (c, self.slots[c.slot()]))
+    }
+}
+
+impl Index<Category> for Breakdown {
+    type Output = SimDuration;
+    fn index(&self, c: Category) -> &SimDuration {
+        &self.slots[c.slot()]
+    }
+}
+
+impl IndexMut<Category> for Breakdown {
+    fn index_mut(&mut self, c: Category) -> &mut SimDuration {
+        &mut self.slots[c.slot()]
+    }
+}
+
+/// Integrates a node's category state function over virtual time.
+#[derive(Clone, Debug)]
+pub struct NodeClock {
+    last_edge: SimTime,
+    current: Category,
+    totals: Breakdown,
+}
+
+impl NodeClock {
+    /// A clock starting idle at `start`.
+    pub fn new(start: SimTime) -> Self {
+        NodeClock {
+            last_edge: start,
+            current: Category::Idle,
+            totals: Breakdown::default(),
+        }
+    }
+
+    /// The category being accumulated right now.
+    pub fn current(&self) -> Category {
+        self.current
+    }
+
+    /// Accumulate up to `now` in the current category.
+    pub fn advance_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_edge, "clock moved backwards");
+        self.totals[self.current] += now.since(self.last_edge);
+        self.last_edge = now;
+    }
+
+    /// Accumulate up to `now`, then switch to `cat`.
+    pub fn set(&mut self, now: SimTime, cat: Category) {
+        self.advance_to(now);
+        self.current = cat;
+    }
+
+    /// Snapshot of the totals as of `now` (non-destructive).
+    pub fn snapshot(&self, now: SimTime) -> Breakdown {
+        let mut b = self.totals.clone();
+        b[self.current] += now.since(self.last_edge);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn integration_sums_to_elapsed() {
+        let mut c = NodeClock::new(SimTime::ZERO);
+        c.set(t(0), Category::Compute);
+        c.set(t(10), Category::Lock);
+        c.set(t(25), Category::Protocol);
+        c.set(t(30), Category::Compute);
+        let b = c.snapshot(t(100));
+        assert_eq!(b[Category::Compute], SimDuration::from_micros(80));
+        assert_eq!(b[Category::Lock], SimDuration::from_micros(15));
+        assert_eq!(b[Category::Protocol], SimDuration::from_micros(5));
+        assert_eq!(b.total(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive() {
+        let mut c = NodeClock::new(SimTime::ZERO);
+        c.set(t(0), Category::Compute);
+        let s1 = c.snapshot(t(10));
+        let s2 = c.snapshot(t(20));
+        assert_eq!(s1[Category::Compute], SimDuration::from_micros(10));
+        assert_eq!(s2[Category::Compute], SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn breakdown_algebra() {
+        let mut a = Breakdown::default();
+        a[Category::Compute] = SimDuration::from_micros(10);
+        let mut b = Breakdown::default();
+        b[Category::Compute] = SimDuration::from_micros(4);
+        b[Category::Gc] = SimDuration::from_micros(1);
+        let sum = a.add(&b);
+        assert_eq!(sum[Category::Compute], SimDuration::from_micros(14));
+        let diff = sum.sub(&a);
+        assert_eq!(diff, b);
+        assert_eq!(sum.div(2)[Category::Compute], SimDuration::from_micros(7));
+        assert_eq!(sum.total(), SimDuration::from_micros(15));
+        assert_eq!(sum.busy(), SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn iter_covers_all_categories() {
+        let b = Breakdown::default();
+        assert_eq!(b.iter().count(), 7);
+    }
+}

@@ -1,0 +1,682 @@
+//! The machine: nodes, processors, message service, and the run loop.
+//!
+//! The protocol (an [`Agent`]) and the applications (simulated processes)
+//! meet here. Applications issue [`AppRequest`]s; compute requests are
+//! handled by the machine itself (they occupy the compute processor and are
+//! preemptible by message service), everything else is forwarded to the
+//! agent. The agent reacts to requests and to message deliveries by doing
+//! priced work on a processor, sending messages, and completing blocked
+//! application requests.
+
+use std::collections::VecDeque;
+
+use svm_sim::process::{spawn_process, ProcessPort, SimProcess, Yielded};
+use svm_sim::{EventId, Scheduler, SimDuration, SimTime};
+
+use crate::accounting::{Breakdown, Category, NodeClock};
+use crate::cost::CostModel;
+use crate::traffic::{Message, TrafficStats};
+use crate::types::{NodeId, ProcAddr, ProcKind};
+
+/// What an application can ask the machine for.
+pub enum AppRequest<R> {
+    /// Occupy the compute processor for the given span (preemptible).
+    Compute(SimDuration),
+    /// A protocol-level request, forwarded to the [`Agent`].
+    Custom(R),
+}
+
+/// The machine's answer to an application request.
+pub enum AppResponse<R> {
+    /// A compute span finished (also acknowledges trivial requests).
+    Done,
+    /// The agent's answer to a custom request.
+    Custom(R),
+}
+
+/// Protocol logic plugged into the machine.
+///
+/// Handlers run inside simulation events. They are given a [`Ctx`] through
+/// which they charge processor work, send messages, and unblock
+/// applications; all of it takes effect at the handler's *effective* time
+/// (service start plus work charged so far).
+pub trait Agent: Sized + 'static {
+    /// The protocol's message type.
+    type Msg: Message;
+    /// Custom application-request payload (faults, locks, barriers…).
+    type Req: Send + 'static;
+    /// Custom application-response payload.
+    type Resp: Send + 'static;
+
+    /// A message has reached the head of `at`'s service queue.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, at: ProcAddr, from: ProcAddr, msg: Self::Msg);
+
+    /// The application on `node` issued a custom request.
+    ///
+    /// The machine marks the application blocked before calling this; the
+    /// agent must eventually complete it via [`Ctx::complete_app`] (now, at
+    /// the current work cursor, or from a later message handler) and may
+    /// re-tag the wait via [`Ctx::block_app`].
+    fn on_request(&mut self, ctx: &mut Ctx<'_, Self>, node: NodeId, req: Self::Req);
+}
+
+/// The world a scheduler drives: machine state plus the protocol agent.
+pub struct World<A: Agent> {
+    /// Machine state (nodes, clocks, traffic).
+    pub machine: Machine<A>,
+    /// Protocol state.
+    pub agent: A,
+}
+
+/// Application body: the program a node runs.
+pub type AppBody<A> = Box<
+    dyn FnOnce(&ProcessPort<AppRequest<<A as Agent>::Req>, AppResponse<<A as Agent>::Resp>>) + Send,
+>;
+
+enum AppState<R> {
+    /// Transient: mid-resume, a new state will be set before the event ends.
+    Ready,
+    Computing {
+        remaining: SimDuration,
+        since: SimTime,
+        done_ev: EventId,
+    },
+    /// Compute preempted by (or deferred behind) compute-processor service.
+    ComputePaused {
+        remaining: SimDuration,
+    },
+    /// Waiting for the protocol; the category tags the wait for accounting.
+    Blocked(Category),
+    /// A custom request waiting for the compute processor to free up.
+    PendingRequest(R),
+    Finished,
+}
+
+struct Service {
+    cat: Category,
+    segments: VecDeque<(SimDuration, Category)>,
+}
+
+struct ProcUnit<M> {
+    service: Option<Service>,
+    queue: VecDeque<(ProcAddr, M)>,
+}
+
+impl<M> ProcUnit<M> {
+    fn new() -> Self {
+        ProcUnit {
+            service: None,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// The kernel endpoint of a node's application process.
+type AppProcess<A> = SimProcess<AppRequest<<A as Agent>::Req>, AppResponse<<A as Agent>::Resp>>;
+
+struct NodeState<A: Agent> {
+    cpu: ProcUnit<A::Msg>,
+    coproc: ProcUnit<A::Msg>,
+    app: AppState<A::Req>,
+    process: Option<AppProcess<A>>,
+}
+
+/// The simulated multicomputer.
+pub struct Machine<A: Agent> {
+    /// The cost model pricing every operation.
+    pub cost: CostModel,
+    nodes: Vec<NodeState<A>>,
+    clocks: Vec<NodeClock>,
+    traffic: TrafficStats,
+    finish: Vec<Option<SimTime>>,
+    coproc_busy: Vec<SimDuration>,
+}
+
+/// Result of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// When the last node finished (the parallel execution time).
+    pub total_time: SimTime,
+    /// Per-node execution-time breakdown, integrated to `total_time`.
+    pub breakdowns: Vec<Breakdown>,
+    /// Per-node finish times.
+    pub finish_times: Vec<SimTime>,
+    /// Message/byte counters.
+    pub traffic: TrafficStats,
+    /// Total co-processor busy time per node (overlap utilization).
+    pub coproc_busy: Vec<SimDuration>,
+    /// Scheduler events executed (diagnostics).
+    pub events_executed: u64,
+}
+
+impl<A: Agent> Machine<A> {
+    /// Build a machine with `bodies.len()` nodes running the given programs.
+    pub fn new(cost: CostModel, bodies: Vec<AppBody<A>>) -> Self {
+        let n = bodies.len();
+        assert!(n > 0, "a machine needs at least one node");
+        let nodes = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| NodeState {
+                cpu: ProcUnit::new(),
+                coproc: ProcUnit::new(),
+                app: AppState::Ready,
+                process: Some(spawn_process(&format!("app-n{i}"), move |port| body(port))),
+            })
+            .collect();
+        Machine {
+            cost,
+            nodes,
+            clocks: (0..n).map(|_| NodeClock::new(SimTime::ZERO)).collect(),
+            traffic: TrafficStats::new(n),
+            finish: vec![None; n],
+            coproc_busy: vec![SimDuration::ZERO; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Traffic counters so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// A node's execution-time breakdown as of `now` (e.g., at a barrier,
+    /// for the paper's Figure-4 per-phase analysis).
+    pub fn breakdown_at(&self, node: NodeId, now: SimTime) -> Breakdown {
+        self.clocks[node.index()].snapshot(now)
+    }
+
+    fn category(&self, node: usize) -> Category {
+        let n = &self.nodes[node];
+        if let Some(s) = &n.cpu.service {
+            return s.cat;
+        }
+        match &n.app {
+            AppState::Computing { .. } | AppState::ComputePaused { .. } => Category::Compute,
+            AppState::Blocked(c) => *c,
+            AppState::PendingRequest(_) => Category::Protocol,
+            AppState::Ready | AppState::Finished => Category::Idle,
+        }
+    }
+
+    fn refresh(&mut self, node: usize, now: SimTime) {
+        let cat = self.category(node);
+        self.clocks[node].set(now, cat);
+    }
+}
+
+impl<A: Agent> World<A> {
+    /// Assemble a world from a cost model, an agent, and one program per
+    /// node.
+    pub fn new(cost: CostModel, agent: A, bodies: Vec<AppBody<A>>) -> Self {
+        World {
+            machine: Machine::new(cost, bodies),
+            agent,
+        }
+    }
+
+    /// Run to completion; returns the outcome and the agent (with its
+    /// protocol statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an application panics, or if the event queue drains while
+    /// some application is still blocked (protocol deadlock) — both with
+    /// diagnostics.
+    pub fn run(mut self) -> (RunOutcome, A) {
+        let mut sched: Scheduler<World<A>> = Scheduler::new();
+        // Kick every node: obtain and handle its first yield at t = 0.
+        for i in 0..self.machine.nodes.len() {
+            let y = self.machine.nodes[i]
+                .process
+                .as_mut()
+                .expect("process present")
+                .next_yield();
+            self.handle_yield(&mut sched, NodeId(i as u16), y);
+        }
+        sched.run(&mut self);
+
+        let mut stuck = Vec::new();
+        for (i, n) in self.machine.nodes.iter().enumerate() {
+            if !matches!(n.app, AppState::Finished) {
+                let state = match &n.app {
+                    AppState::Blocked(c) => format!("blocked on {c}"),
+                    AppState::Computing { .. } => "computing".into(),
+                    AppState::ComputePaused { .. } => "compute-paused".into(),
+                    AppState::PendingRequest(_) => "request pending".into(),
+                    AppState::Ready => "ready".into(),
+                    AppState::Finished => unreachable!(),
+                };
+                stuck.push(format!("node {i}: {state}"));
+            }
+        }
+        assert!(
+            stuck.is_empty(),
+            "simulation deadlock: event queue empty with live applications:\n  {}",
+            stuck.join("\n  ")
+        );
+
+        // Trailing protocol service (e.g., a node serving a fetch after its
+        // own program ended) can outlast the last application finish; the
+        // run ends when the event queue drains.
+        let total_time = self
+            .machine
+            .finish
+            .iter()
+            .map(|t| t.expect("all nodes finished"))
+            .max()
+            .expect("at least one node")
+            .max(sched.now());
+        let breakdowns = (0..self.machine.nodes.len())
+            .map(|i| self.machine.clocks[i].snapshot(total_time))
+            .collect();
+        let outcome = RunOutcome {
+            total_time,
+            breakdowns,
+            finish_times: self.machine.finish.iter().map(|t| t.unwrap()).collect(),
+            traffic: self.machine.traffic.clone(),
+            coproc_busy: self.machine.coproc_busy.clone(),
+            events_executed: sched.executed(),
+        };
+        (outcome, self.agent)
+    }
+
+    /// Resume a blocked application with `resp` and handle its next yield.
+    fn resume_app(
+        &mut self,
+        sched: &mut Scheduler<World<A>>,
+        node: NodeId,
+        resp: AppResponse<A::Resp>,
+    ) {
+        let i = node.index();
+        debug_assert!(
+            matches!(self.machine.nodes[i].app, AppState::Blocked(_)),
+            "resume of non-blocked app on node {node:?}"
+        );
+        self.machine.nodes[i].app = AppState::Ready;
+        let y = self.machine.nodes[i]
+            .process
+            .as_mut()
+            .expect("process present")
+            .resume(resp);
+        self.handle_yield(sched, node, y);
+    }
+
+    fn handle_yield(
+        &mut self,
+        sched: &mut Scheduler<World<A>>,
+        node: NodeId,
+        y: Yielded<AppRequest<A::Req>>,
+    ) {
+        let i = node.index();
+        let now = sched.now();
+        match y {
+            Yielded::Finished(Ok(())) => {
+                self.machine.nodes[i].app = AppState::Finished;
+                self.machine.finish[i] = Some(now);
+                self.machine.refresh(i, now);
+            }
+            Yielded::Finished(Err(msg)) => {
+                panic!("application on node {node:?} panicked: {msg}");
+            }
+            Yielded::Request(AppRequest::Compute(d)) => {
+                if self.machine.nodes[i].cpu.service.is_some() {
+                    self.machine.nodes[i].app = AppState::ComputePaused { remaining: d };
+                    self.machine.refresh(i, now);
+                } else {
+                    self.start_compute(sched, node, d);
+                }
+            }
+            Yielded::Request(AppRequest::Custom(req)) => {
+                if self.machine.nodes[i].cpu.service.is_some() {
+                    self.machine.nodes[i].app = AppState::PendingRequest(req);
+                    self.machine.refresh(i, now);
+                } else {
+                    self.run_request(sched, node, req);
+                }
+            }
+        }
+    }
+
+    fn start_compute(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId, d: SimDuration) {
+        let i = node.index();
+        let now = sched.now();
+        let done_ev = sched.after(d, move |s, w: &mut World<A>| w.compute_done(s, node));
+        self.machine.nodes[i].app = AppState::Computing {
+            remaining: d,
+            since: now,
+            done_ev,
+        };
+        self.machine.refresh(i, now);
+    }
+
+    fn compute_done(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        let i = node.index();
+        debug_assert!(matches!(
+            self.machine.nodes[i].app,
+            AppState::Computing { .. }
+        ));
+        self.machine.nodes[i].app = AppState::Ready;
+        let y = self.machine.nodes[i]
+            .process
+            .as_mut()
+            .expect("process present")
+            .resume(AppResponse::Done);
+        self.handle_yield(sched, node, y);
+    }
+
+    /// Run the agent's request handler (compute processor must be free).
+    fn run_request(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId, req: A::Req) {
+        let i = node.index();
+        debug_assert!(self.machine.nodes[i].cpu.service.is_none());
+        self.machine.nodes[i].app = AppState::Blocked(Category::Protocol);
+        self.machine.refresh(i, sched.now());
+        let World { machine, agent } = self;
+        let mut ctx = Ctx::new(sched, machine, ProcAddr::cpu(node));
+        agent.on_request(&mut ctx, node, req);
+        let segments = ctx.take_segments();
+        self.begin_service(sched, ProcAddr::cpu(node), segments);
+    }
+
+    /// A message arrived at `to`; queue it and service if possible.
+    fn deliver(
+        &mut self,
+        sched: &mut Scheduler<World<A>>,
+        to: ProcAddr,
+        from: ProcAddr,
+        msg: A::Msg,
+    ) {
+        let i = to.node.index();
+        match to.kind {
+            ProcKind::Cpu => self.machine.nodes[i].cpu.queue.push_back((from, msg)),
+            ProcKind::CoProc => self.machine.nodes[i].coproc.queue.push_back((from, msg)),
+        }
+        self.try_dispatch(sched, to);
+    }
+
+    /// If `at` is free and has queued messages, service the next one.
+    fn try_dispatch(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr) {
+        let i = at.node.index();
+        let now = sched.now();
+        let busy = match at.kind {
+            ProcKind::Cpu => self.machine.nodes[i].cpu.service.is_some(),
+            ProcKind::CoProc => self.machine.nodes[i].coproc.service.is_some(),
+        };
+        if busy {
+            return;
+        }
+        let next = match at.kind {
+            ProcKind::Cpu => self.machine.nodes[i].cpu.queue.pop_front(),
+            ProcKind::CoProc => self.machine.nodes[i].coproc.queue.pop_front(),
+        };
+        let Some((from, msg)) = next else { return };
+
+        // Preempt application compute for interrupt-driven cpu service. The
+        // full receive-interrupt cost is paid only when this dispatch
+        // actually preempts running computation; messages drained from the
+        // queue within the same interrupt context (the app still paused),
+        // or received while the app is blocked (polled receive), cost only
+        // a dispatch.
+        let mut preempted = false;
+        if at.kind == ProcKind::Cpu {
+            if let AppState::Computing {
+                remaining,
+                since,
+                done_ev,
+            } = &self.machine.nodes[i].app
+            {
+                let (remaining, since, done_ev) = (*remaining, *since, *done_ev);
+                let ran = now.since(since);
+                let cancelled = sched.cancel(done_ev);
+                debug_assert!(cancelled, "compute completion should be pending");
+                self.machine.nodes[i].app = AppState::ComputePaused {
+                    remaining: remaining.saturating_sub(ran),
+                };
+                preempted = true;
+            }
+        }
+        let prelude = if preempted {
+            self.machine.cost.receive_interrupt
+        } else {
+            self.machine.cost.coproc_dispatch
+        };
+
+        let World { machine, agent } = self;
+        let mut ctx = Ctx::new(sched, machine, at);
+        ctx.work(prelude, Category::Protocol);
+        agent.on_message(&mut ctx, at, from, msg);
+        let segments = ctx.take_segments();
+        self.begin_service(sched, at, segments);
+    }
+
+    /// Occupy `at` with the given work segments, then release it.
+    fn begin_service(
+        &mut self,
+        sched: &mut Scheduler<World<A>>,
+        at: ProcAddr,
+        segments: Vec<(SimDuration, Category)>,
+    ) {
+        let i = at.node.index();
+        let now = sched.now();
+        if segments.is_empty() {
+            // No work: the processor never became busy. For a cpu, the app
+            // may have been asked to wait for nothing — release it.
+            self.end_service(sched, at);
+            return;
+        }
+        let mut segs: VecDeque<_> = segments.into();
+        let (d, cat) = segs.pop_front().expect("nonempty");
+        if at.kind == ProcKind::CoProc {
+            let total: SimDuration = segs.iter().map(|(d, _)| *d).sum::<SimDuration>() + d;
+            self.machine.coproc_busy[i] += total;
+        }
+        let unit = match at.kind {
+            ProcKind::Cpu => &mut self.machine.nodes[i].cpu,
+            ProcKind::CoProc => &mut self.machine.nodes[i].coproc,
+        };
+        unit.service = Some(Service {
+            cat,
+            segments: segs,
+        });
+        if at.kind == ProcKind::Cpu {
+            self.machine.refresh(i, now);
+        }
+        sched.after(d, move |s, w: &mut World<A>| w.segment_done(s, at));
+    }
+
+    fn segment_done(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr) {
+        let i = at.node.index();
+        let now = sched.now();
+        let unit = match at.kind {
+            ProcKind::Cpu => &mut self.machine.nodes[i].cpu,
+            ProcKind::CoProc => &mut self.machine.nodes[i].coproc,
+        };
+        let service = unit.service.as_mut().expect("segment_done without service");
+        if let Some((d, cat)) = service.segments.pop_front() {
+            service.cat = cat;
+            if at.kind == ProcKind::Cpu {
+                self.machine.refresh(i, now);
+            }
+            sched.after(d, move |s, w: &mut World<A>| w.segment_done(s, at));
+            return;
+        }
+        unit.service = None;
+        if at.kind == ProcKind::Cpu {
+            self.machine.refresh(i, now);
+        }
+        self.end_service(sched, at);
+    }
+
+    /// After a processor frees up: drain the next queued message first (one
+    /// interrupt context serves a whole burst), then restart deferred app
+    /// work once the queue is empty.
+    fn end_service(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr) {
+        self.try_dispatch(sched, at);
+        let i = at.node.index();
+        if at.kind == ProcKind::Cpu && self.machine.nodes[i].cpu.service.is_none() {
+            match std::mem::replace(&mut self.machine.nodes[i].app, AppState::Ready) {
+                AppState::ComputePaused { remaining } => {
+                    self.start_compute(sched, at.node, remaining);
+                }
+                AppState::PendingRequest(req) => {
+                    self.run_request(sched, at.node, req);
+                }
+                other => {
+                    self.machine.nodes[i].app = other;
+                }
+            }
+        }
+    }
+}
+
+/// The agent's handle into the machine during a handler.
+///
+/// Work charged through [`Ctx::work`] advances the handler's *cursor*; sends
+/// and completions take effect at the cursor, and when the handler returns
+/// the accumulated segments occupy the processor the handler ran on.
+pub struct Ctx<'a, A: Agent> {
+    sched: &'a mut Scheduler<World<A>>,
+    machine: &'a mut Machine<A>,
+    at: ProcAddr,
+    base: SimTime,
+    cursor: SimDuration,
+    segments: Vec<(SimDuration, Category)>,
+}
+
+impl<'a, A: Agent> Ctx<'a, A> {
+    fn new(sched: &'a mut Scheduler<World<A>>, machine: &'a mut Machine<A>, at: ProcAddr) -> Self {
+        let base = sched.now();
+        Ctx {
+            sched,
+            machine,
+            at,
+            base,
+            cursor: SimDuration::ZERO,
+            segments: Vec::new(),
+        }
+    }
+
+    fn take_segments(&mut self) -> Vec<(SimDuration, Category)> {
+        std::mem::take(&mut self.segments)
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.machine.cost
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.machine.nodes()
+    }
+
+    /// The handler's effective time: service start plus work so far.
+    pub fn now(&self) -> SimTime {
+        self.base + self.cursor
+    }
+
+    /// The processor this handler occupies.
+    pub fn here(&self) -> ProcAddr {
+        self.at
+    }
+
+    /// Charge `d` of processor work in accounting category `cat`.
+    pub fn work(&mut self, d: SimDuration, cat: Category) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        self.cursor += d;
+        // Coalesce with the previous segment when the category repeats.
+        if let Some(last) = self.segments.last_mut() {
+            if last.1 == cat {
+                last.0 += d;
+                return;
+            }
+        }
+        self.segments.push((d, cat));
+    }
+
+    /// Send `msg` to a (usually remote) processor; it departs at the cursor
+    /// and arrives after the network transit for its size.
+    pub fn send(&mut self, to: ProcAddr, msg: A::Msg) {
+        let from = self.at;
+        assert_ne!(from.node, to.node, "use post_local for intra-node messages");
+        let bytes = msg.wire_bytes();
+        self.machine.traffic.record(from.node, msg.class(), bytes);
+        let transit = self.machine.cost.transit(bytes);
+        let at = self.now() + transit;
+        self.sched
+            .at(at, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+    }
+
+    /// Post `msg` to the other processor of this node through shared memory
+    /// (the Paragon post page): cheap, no network traffic counted.
+    pub fn post_local(&mut self, to_kind: ProcKind, msg: A::Msg) {
+        let from = self.at;
+        let to = ProcAddr {
+            node: from.node,
+            kind: to_kind,
+        };
+        assert_ne!(from.kind, to.kind, "posting to self");
+        let at = self.now() + self.machine.cost.coproc_post;
+        self.sched
+            .at(at, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+    }
+
+    /// Complete the blocked application request on `node` with `resp`, at
+    /// the cursor.
+    pub fn complete_app(&mut self, node: NodeId, resp: A::Resp) {
+        self.complete_app_with(node, AppResponse::Custom(resp));
+    }
+
+    /// Complete the blocked application request on `node` with a bare
+    /// acknowledgment.
+    pub fn ack_app(&mut self, node: NodeId) {
+        self.complete_app_with(node, AppResponse::Done);
+    }
+
+    fn complete_app_with(&mut self, node: NodeId, resp: AppResponse<A::Resp>) {
+        let at = self.now();
+        self.sched
+            .at(at, move |s, w: &mut World<A>| w.resume_app(s, node, resp));
+    }
+
+    /// Re-tag why `node`'s application is blocked (for wait accounting).
+    pub fn block_app(&mut self, node: NodeId, cat: Category) {
+        let i = node.index();
+        assert!(
+            matches!(self.machine.nodes[i].app, AppState::Blocked(_)),
+            "block_app on a non-blocked application"
+        );
+        self.machine.nodes[i].app = AppState::Blocked(cat);
+        self.machine.refresh(i, self.sched.now());
+    }
+
+    /// Snapshot a node's breakdown at the handler's effective time (for
+    /// phase-windowed reporting).
+    pub fn breakdown(&self, node: NodeId) -> Breakdown {
+        self.machine.breakdown_at(node, self.sched.now())
+    }
+
+    /// Record traffic for communication modeled in aggregate (e.g., the
+    /// garbage-collection exchange, which is simulated as a synchronous
+    /// global phase rather than as individual messages).
+    pub fn record_traffic(
+        &mut self,
+        from: NodeId,
+        class: crate::traffic::TrafficClass,
+        messages: u64,
+        bytes: usize,
+    ) {
+        for _ in 0..messages.saturating_sub(1) {
+            self.machine.traffic.record(from, class, 0);
+        }
+        if messages > 0 {
+            self.machine.traffic.record(from, class, bytes);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Node and processor identities.
+
+use std::fmt;
+
+/// A node (one Paragon board: compute processor + co-processor + memory).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node's index into per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Which processor on a node.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProcKind {
+    /// The compute processor: runs the application; message service is
+    /// interrupt-driven and preempts computation.
+    Cpu,
+    /// The communication co-processor: runs a polling dispatch loop in
+    /// kernel mode; service overlaps with application computation.
+    CoProc,
+}
+
+/// A processor address: where a message is delivered and serviced.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProcAddr {
+    /// The node.
+    pub node: NodeId,
+    /// The processor on that node.
+    pub kind: ProcKind,
+}
+
+impl ProcAddr {
+    /// The compute processor of `node`.
+    pub fn cpu(node: NodeId) -> Self {
+        ProcAddr {
+            node,
+            kind: ProcKind::Cpu,
+        }
+    }
+
+    /// The co-processor of `node`.
+    pub fn coproc(node: NodeId) -> Self {
+        ProcAddr {
+            node,
+            kind: ProcKind::CoProc,
+        }
+    }
+}
+
+impl fmt::Display for ProcAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ProcKind::Cpu => write!(f, "{}::cpu", self.node),
+            ProcKind::CoProc => write!(f, "{}::cp", self.node),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Word-granularity run-length diffs.
+//!
+//! A diff records the words of a dirty page that differ from its twin, as
+//! maximal runs of changed 4-byte words (TreadMarks used the same
+//! granularity). Diffs are the unit of update propagation in every protocol
+//! here: homeless LRC stores and serves them until garbage collection,
+//! home-based LRC ships them to the page's home, which applies and discards
+//! them (paper Section 2.3).
+
+/// Diff granularity in bytes: one 32-bit word, as in TreadMarks.
+pub const DIFF_WORD: usize = 4;
+
+/// Wire/heap overhead charged per run (offset + length headers).
+const RUN_HEADER_BYTES: usize = 8;
+/// Wire/heap overhead charged per diff (page id, writer, interval, count).
+const DIFF_HEADER_BYTES: usize = 16;
+
+/// One maximal run of modified bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Run {
+    /// Byte offset of the run within the page (word-aligned).
+    pub offset: u32,
+    /// The new bytes (length is a multiple of [`DIFF_WORD`]).
+    pub bytes: Vec<u8>,
+}
+
+/// A set of page updates: the difference between a twin and a dirty copy.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Diff {
+    runs: Vec<Run>,
+}
+
+impl Diff {
+    /// Compute the diff of `current` against `twin` at word granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or the length is not a multiple
+    /// of [`DIFF_WORD`].
+    pub fn create(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
+        assert_eq!(twin.len() % DIFF_WORD, 0, "page size must be word-multiple");
+        let words = twin.len() / DIFF_WORD;
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < words {
+            let b = w * DIFF_WORD;
+            if twin[b..b + DIFF_WORD] == current[b..b + DIFF_WORD] {
+                w += 1;
+                continue;
+            }
+            let start = w;
+            while w < words {
+                let b = w * DIFF_WORD;
+                if twin[b..b + DIFF_WORD] == current[b..b + DIFF_WORD] {
+                    break;
+                }
+                w += 1;
+            }
+            runs.push(Run {
+                offset: (start * DIFF_WORD) as u32,
+                bytes: current[start * DIFF_WORD..w * DIFF_WORD].to_vec(),
+            });
+        }
+        Diff { runs }
+    }
+
+    /// Apply the diff onto `dst` (a page copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run falls outside `dst`.
+    pub fn apply(&self, dst: &mut [u8]) {
+        for run in &self.runs {
+            let off = run.offset as usize;
+            dst[off..off + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// Whether the diff records no changes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The runs, for inspection.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Total bytes of changed data.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Bytes this diff occupies on the wire (payload + encoding headers).
+    ///
+    /// This is what the traffic tables (paper Table 5) charge per diff
+    /// message in addition to the message envelope.
+    pub fn wire_bytes(&self) -> usize {
+        DIFF_HEADER_BYTES + self.runs.len() * RUN_HEADER_BYTES + self.payload_bytes()
+    }
+
+    /// Bytes this diff occupies in memory while stored (paper Table 6).
+    pub fn heap_bytes(&self) -> usize {
+        // Stored form ~ wire form plus allocator/run-vector overhead.
+        DIFF_HEADER_BYTES + self.runs.len() * (RUN_HEADER_BYTES + 16) + self.payload_bytes()
+    }
+
+    /// Merge `later` into `self`: the result applied once equals applying
+    /// `self` then `later`.
+    ///
+    /// Used by the home to coalesce, and by tests as an algebraic check.
+    pub fn merge(&self, later: &Diff, page_size: usize) -> Diff {
+        // Materialize both diffs on a scratch page and rebuild runs from the
+        // union of touched words. Diffs are short-lived; not a hot path.
+        let words = page_size / DIFF_WORD;
+        let mut touched = vec![false; words];
+        let mut cur = vec![0u8; page_size];
+        for d in [self, later] {
+            d.apply(&mut cur);
+            for run in &d.runs {
+                let first = run.offset as usize / DIFF_WORD;
+                for t in &mut touched[first..first + run.bytes.len() / DIFF_WORD] {
+                    *t = true;
+                }
+            }
+        }
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < words {
+            if !touched[w] {
+                w += 1;
+                continue;
+            }
+            let start = w;
+            while w < words && touched[w] {
+                w += 1;
+            }
+            runs.push(Run {
+                offset: (start * DIFF_WORD) as u32,
+                bytes: cur[start * DIFF_WORD..w * DIFF_WORD].to_vec(),
+            });
+        }
+        Diff { runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(vals: &[(usize, u8)], size: usize) -> Vec<u8> {
+        let mut p = vec![0u8; size];
+        for &(i, v) in vals {
+            p[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn empty_diff_for_identical_pages() {
+        let twin = vec![7u8; 64];
+        let d = Diff::create(&twin, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = vec![0u8; 64];
+        let cur = page(&[(10, 5)], 64);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.runs()[0].offset, 8, "run must be word-aligned");
+        assert_eq!(d.payload_bytes(), 4);
+        let mut out = twin.clone();
+        d.apply(&mut out);
+        assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce_into_one_run() {
+        let twin = vec![0u8; 64];
+        let cur = page(&[(4, 1), (8, 2), (12, 3)], 64);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs().len(), 1);
+        assert_eq!(d.runs()[0].offset, 4);
+        assert_eq!(d.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn separate_runs_for_gaps() {
+        let twin = vec![0u8; 64];
+        let cur = page(&[(0, 1), (32, 2)], 64);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs().len(), 2);
+    }
+
+    #[test]
+    fn apply_roundtrip_whole_page_change() {
+        let twin = vec![0xAAu8; 128];
+        let cur: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        let d = Diff::create(&twin, &cur);
+        let mut out = twin.clone();
+        d.apply(&mut out);
+        assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn wire_and_heap_sizes_grow_with_runs() {
+        let twin = vec![0u8; 64];
+        let one = Diff::create(&twin, &page(&[(0, 1)], 64));
+        let two = Diff::create(&twin, &page(&[(0, 1), (32, 2)], 64));
+        assert!(two.wire_bytes() > one.wire_bytes());
+        assert!(two.heap_bytes() > one.heap_bytes());
+        assert!(one.heap_bytes() >= one.wire_bytes());
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let size = 64;
+        let base = vec![0x11u8; size];
+        let mut a_page = base.clone();
+        a_page[8..12].copy_from_slice(&[1, 2, 3, 4]);
+        let a = Diff::create(&base, &a_page);
+        let mut b_page = a_page.clone();
+        b_page[8..12].copy_from_slice(&[9, 9, 9, 9]); // overwrite a's word
+        b_page[40..44].copy_from_slice(&[5, 6, 7, 8]);
+        let b = Diff::create(&a_page, &b_page);
+
+        let merged = a.merge(&b, size);
+        let mut via_merge = base.clone();
+        merged.apply(&mut via_merge);
+        let mut via_seq = base.clone();
+        a.apply(&mut via_seq);
+        b.apply(&mut via_seq);
+        assert_eq!(via_merge, via_seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn create_rejects_mismatched_lengths() {
+        let _ = Diff::create(&[0u8; 8], &[0u8; 12]);
+    }
+}

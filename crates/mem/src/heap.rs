@@ -1,0 +1,124 @@
+//! The global shared heap: `G_MALLOC` for the simulated programs.
+//!
+//! The paper's prototypes let the whole virtual address space be shared and
+//! dynamically allocated with `G_MALLOC` (Section 3.2). Here a bump
+//! allocator hands out global addresses; the node that performs the
+//! allocation (node 0, before spawning the workers) initializes the data,
+//! and the allocation table itself is plain data cloned to every node.
+
+use crate::addr::{GAddr, Geometry};
+
+/// A named allocation in the global heap (for reports and debugging).
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// First address of the allocation.
+    pub base: GAddr,
+    /// Length in bytes.
+    pub len: u64,
+    /// Human-readable label (e.g., `"matrix"`, `"task-queues"`).
+    pub label: String,
+}
+
+/// Bump allocator over the shared address space.
+#[derive(Clone, Debug)]
+pub struct GlobalHeap {
+    geometry: Geometry,
+    next: u64,
+    allocations: Vec<Allocation>,
+}
+
+impl GlobalHeap {
+    /// Create an empty heap with the given page geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        GlobalHeap {
+            geometry,
+            next: 0,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// The heap's page geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Allocate `len` bytes aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, len: u64, align: u64, label: &str) -> GAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = self.next.next_multiple_of(align);
+        self.next = base + len;
+        let base = GAddr(base);
+        self.allocations.push(Allocation {
+            base,
+            len,
+            label: label.to_string(),
+        });
+        base
+    }
+
+    /// Allocate page-aligned memory, padded to whole pages.
+    ///
+    /// Splash-2 codes pad per-processor data to page boundaries to avoid
+    /// false sharing; apps here use this for the same purpose.
+    pub fn alloc_pages(&mut self, len: u64, label: &str) -> GAddr {
+        let ps = self.geometry.page_size() as u64;
+        let base = self.alloc(len.next_multiple_of(ps).max(ps), ps, label);
+        debug_assert_eq!(self.geometry.offset_in_page(base), 0);
+        base
+    }
+
+    /// Total bytes allocated (the "application memory" of paper Table 6).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of pages backing the heap so far.
+    pub fn num_pages(&self) -> u32 {
+        self.geometry.pages_for(self.next)
+    }
+
+    /// The allocation table.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_respects_alignment() {
+        let mut h = GlobalHeap::new(Geometry::new(4096));
+        let a = h.alloc(10, 8, "a");
+        let b = h.alloc(100, 64, "b");
+        assert_eq!(a.0 % 8, 0);
+        assert_eq!(b.0 % 64, 0);
+        assert!(b.0 >= a.0 + 10);
+    }
+
+    #[test]
+    fn page_allocations_are_page_aligned_and_padded() {
+        let mut h = GlobalHeap::new(Geometry::new(4096));
+        let _ = h.alloc(10, 8, "small");
+        let p = h.alloc_pages(5000, "big");
+        assert_eq!(p.0 % 4096, 0);
+        let q = h.alloc_pages(1, "tiny");
+        assert_eq!(q.0 % 4096, 0);
+        assert!(q.0 - p.0 >= 8192, "5000 bytes must take two whole pages");
+    }
+
+    #[test]
+    fn accounting() {
+        let mut h = GlobalHeap::new(Geometry::new(4096));
+        h.alloc_pages(4096 * 3, "x");
+        assert_eq!(h.num_pages(), 3);
+        assert_eq!(h.allocated_bytes(), 4096 * 3);
+        assert_eq!(h.allocations().len(), 1);
+        assert_eq!(h.allocations()[0].label, "x");
+    }
+}

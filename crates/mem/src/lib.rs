@@ -1,0 +1,23 @@
+//! Shared-virtual-memory data substrate.
+//!
+//! This crate holds the machinery the protocols in `svm-core` operate on:
+//!
+//! * a page-granular global address space and a bump allocator over it
+//!   ([`GlobalHeap`]),
+//! * stable per-node page buffers ([`PageBuf`]) with twin support,
+//! * word-granularity run-length diffs ([`Diff`]) — the LRC update-detection
+//!   mechanism of the paper (Section 2.1): compare a dirty page against its
+//!   twin and encode the changed words.
+//!
+//! Everything here is protocol-agnostic and synchronous; the simulation cost
+//! model for these operations lives in `svm-machine`.
+
+pub mod addr;
+pub mod diff;
+pub mod heap;
+pub mod page;
+
+pub use addr::{GAddr, Geometry, PageNum};
+pub use diff::Diff;
+pub use heap::{Allocation, GlobalHeap};
+pub use page::{Access, PageBuf};

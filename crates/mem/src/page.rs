@@ -1,0 +1,206 @@
+//! Node-local page copies.
+
+use std::cell::UnsafeCell;
+
+/// Access rights a node currently holds on one of its page copies.
+///
+/// Mirrors the `vm_protect` states of the paper's implementation: an
+/// `Invalid` copy faults on any access, a `ReadOnly` copy faults on writes
+/// (the write fault creates the twin and upgrades to `ReadWrite`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Any access faults; the data bytes (if present) are stale.
+    Invalid,
+    /// Reads are free, writes fault (twin creation point).
+    ReadOnly,
+    /// Reads and writes are free; the node is a writer in the current
+    /// interval.
+    ReadWrite,
+}
+
+impl Access {
+    /// Whether a read is allowed without a fault.
+    pub fn readable(self) -> bool {
+        !matches!(self, Access::Invalid)
+    }
+
+    /// Whether a write is allowed without a fault.
+    pub fn writable(self) -> bool {
+        matches!(self, Access::ReadWrite)
+    }
+}
+
+/// A heap-allocated page buffer with a stable address and interior
+/// mutability.
+///
+/// The SVM fast path hands raw pointers into these buffers to the
+/// application thread (the mapping cache), which reads and writes through
+/// them while the simulation kernel owns the surrounding structures by
+/// `&mut`. Two properties make that sound:
+///
+/// * **stability** — the allocation never moves: `PageBuf` never
+///   reallocates, and moving the `PageBuf` value (e.g., inside a growing
+///   `Vec`) moves only the box pointer, not the heap block;
+/// * **interior mutability** — the bytes live in [`UnsafeCell`]s, so writes
+///   through the application's raw pointers never conflict with the
+///   kernel's `&mut`/`&` borrows of the *container* under the aliasing
+///   model. Actual data races are excluded by the strict kernel/process
+///   alternation (see `svm-sim`), which is why the byte accessors are
+///   `unsafe` with that contract.
+pub struct PageBuf {
+    data: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: a `PageBuf` is plain bytes; the `UnsafeCell` wrapper only disables
+// the compiler's noalias assumptions. All cross-thread access is ordered by
+// the rendezvous channels (see the type-level docs), so transferring or
+// sharing the buffer between the kernel thread and app threads is sound.
+unsafe impl Send for PageBuf {}
+// SAFETY: see `Send`; shared references to `PageBuf` expose bytes only via
+// `unsafe` methods whose contract demands external mutual exclusion.
+unsafe impl Sync for PageBuf {}
+
+impl PageBuf {
+    /// Allocate a zero-filled page of `size` bytes.
+    pub fn new_zeroed(size: usize) -> Self {
+        let v: Vec<UnsafeCell<u8>> = (0..size).map(|_| UnsafeCell::new(0)).collect();
+        PageBuf {
+            data: v.into_boxed_slice(),
+        }
+    }
+
+    /// Allocate a page initialized from `src`.
+    pub fn from_slice(src: &[u8]) -> Self {
+        let v: Vec<UnsafeCell<u8>> = src.iter().map(|&b| UnsafeCell::new(b)).collect();
+        PageBuf {
+            data: v.into_boxed_slice(),
+        }
+    }
+
+    /// Page length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the page has zero length (never true for real pages).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw pointer to the (stable) data block, for the mapping fast path.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.data.as_ptr() as *mut u8
+    }
+
+    /// View the bytes.
+    ///
+    /// # Safety
+    ///
+    /// No thread may write to this buffer (through [`PageBuf::as_ptr`] or
+    /// [`PageBuf::bytes_mut`]) while the returned slice is alive. In the
+    /// simulator this holds during any kernel phase: all application
+    /// threads are parked.
+    pub unsafe fn bytes(&self) -> &[u8] {
+        // SAFETY: caller guarantees no concurrent writers; UnsafeCell<u8>
+        // has the same layout as u8.
+        unsafe { std::slice::from_raw_parts(self.as_ptr(), self.data.len()) }
+    }
+
+    /// Mutably view the bytes.
+    ///
+    /// # Safety
+    ///
+    /// No other access to this buffer may exist while the returned slice is
+    /// alive (same kernel-phase argument as [`PageBuf::bytes`]).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn bytes_mut(&self) -> &mut [u8] {
+        // SAFETY: caller guarantees exclusivity; layout as above.
+        unsafe { std::slice::from_raw_parts_mut(self.as_ptr(), self.data.len()) }
+    }
+
+    /// Overwrite the whole page from `src` (kernel phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.len()`.
+    pub fn copy_from(&mut self, src: &[u8]) {
+        assert_eq!(src.len(), self.len(), "page size mismatch");
+        // SAFETY: `&mut self` proves the kernel holds exclusive access.
+        unsafe { self.bytes_mut() }.copy_from_slice(src);
+    }
+
+    /// Copy of the page contents (kernel phase; takes `&mut` for the same
+    /// exclusivity proof as [`PageBuf::copy_from`]).
+    pub fn to_vec(&mut self) -> Vec<u8> {
+        // SAFETY: `&mut self` proves exclusive access.
+        unsafe { self.bytes() }.to_vec()
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        // SAFETY: cloning happens in kernel phases (protocol copies pages);
+        // no app thread writes concurrently by the alternation contract.
+        PageBuf::from_slice(unsafe { self.bytes() })
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageBuf({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_copy() {
+        let mut p = PageBuf::new_zeroed(64);
+        assert_eq!(p.len(), 64);
+        assert!(p.to_vec().iter().all(|&b| b == 0));
+        let src: Vec<u8> = (0..64u8).collect();
+        p.copy_from(&src);
+        assert_eq!(p.to_vec(), src);
+    }
+
+    #[test]
+    fn pointer_stable_across_container_growth() {
+        let mut v = Vec::new();
+        v.push(PageBuf::new_zeroed(128));
+        let ptr = v[0].as_ptr();
+        for _ in 0..100 {
+            v.push(PageBuf::new_zeroed(128)); // force Vec reallocation
+        }
+        assert_eq!(ptr, v[0].as_ptr(), "heap block must not move");
+    }
+
+    #[test]
+    fn raw_pointer_writes_are_visible() {
+        let mut p = PageBuf::new_zeroed(16);
+        let ptr = p.as_ptr();
+        // SAFETY: single-threaded test; no other access.
+        unsafe {
+            *ptr.add(3) = 7;
+        }
+        assert_eq!(p.to_vec()[3], 7);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = PageBuf::from_slice(&[1, 2, 3, 4]);
+        let b = a.clone();
+        a.copy_from(&[9, 9, 9, 9]);
+        // SAFETY: test thread only.
+        assert_eq!(unsafe { b.bytes() }, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn access_predicates() {
+        assert!(!Access::Invalid.readable());
+        assert!(Access::ReadOnly.readable());
+        assert!(!Access::ReadOnly.writable());
+        assert!(Access::ReadWrite.writable());
+    }
+}

@@ -1,0 +1,278 @@
+//! Simulated processes: application code on real threads, in strict
+//! rendezvous with the event kernel.
+//!
+//! A simulated process is an ordinary Rust closure (for us: a Splash-2-style
+//! program against the SVM API) running on its own OS thread. It interacts
+//! with the simulation exclusively by calling [`ProcessPort::request`], which
+//! sends a request to the kernel and blocks until the kernel resumes it with
+//! a response. The kernel side ([`SimProcess::resume`]) symmetrically blocks
+//! until the process either issues its next request or finishes.
+//!
+//! The discipline is *strict alternation*: at any moment either the kernel
+//! thread or exactly one process thread is running, never both. The mpsc
+//! channels provide the necessary happens-before edges, so state handed back
+//! and forth (see [`crate::HandoffCell`]) is properly synchronized.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// What a process produced when control returned to the kernel.
+#[derive(Debug)]
+pub enum Yielded<Req> {
+    /// The process issued a request and is now blocked awaiting the response.
+    Request(Req),
+    /// The process body returned (`Ok`) or panicked (`Err(panic message)`).
+    Finished(Result<(), String>),
+}
+
+/// The process-side endpoint: issue requests, receive responses.
+pub struct ProcessPort<Req, Resp> {
+    req_tx: Sender<Yielded<Req>>,
+    resume_rx: Receiver<Resp>,
+}
+
+impl<Req, Resp> ProcessPort<Req, Resp> {
+    /// Send `req` to the kernel and block until it responds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has shut down (its [`SimProcess`] was dropped);
+    /// the panic unwinds the process body so the thread exits cleanly.
+    pub fn request(&self, req: Req) -> Resp {
+        self.req_tx
+            .send(Yielded::Request(req))
+            .expect("simulation kernel shut down");
+        self.resume_rx.recv().expect("simulation kernel shut down")
+    }
+}
+
+/// The kernel-side endpoint of a simulated process.
+pub struct SimProcess<Req, Resp> {
+    req_rx: Receiver<Yielded<Req>>,
+    resume_tx: Option<Sender<Resp>>,
+    thread: Option<JoinHandle<()>>,
+    /// True while the process is blocked in `request()` awaiting a resume.
+    awaiting_resume: bool,
+    finished: bool,
+    name: String,
+}
+
+/// Spawn a simulated process running `body`.
+///
+/// The body runs immediately on its own thread but the kernel observes
+/// nothing until it calls [`SimProcess::next_yield`] (for the first request)
+/// or [`SimProcess::resume`]. Panics inside the body are caught and reported
+/// as [`Yielded::Finished(Err(..))`].
+pub fn spawn_process<Req, Resp, F>(name: &str, body: F) -> SimProcess<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+    F: FnOnce(&ProcessPort<Req, Resp>) + Send + 'static,
+{
+    let (req_tx, req_rx) = channel::<Yielded<Req>>();
+    let (resume_tx, resume_rx) = channel::<Resp>();
+    let port = ProcessPort {
+        req_tx: req_tx.clone(),
+        resume_rx,
+    };
+    let thread = std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(&port)));
+            let outcome = match result {
+                Ok(()) => Ok(()),
+                // `&*payload` derefs the box: passing `&payload` would unsize
+                // the `Box` itself into `dyn Any` and the downcasts would miss.
+                Err(payload) => Err(panic_message(&*payload)),
+            };
+            // If the kernel is gone this send fails, which is fine: nobody is
+            // listening and the thread just exits.
+            let _ = req_tx.send(Yielded::Finished(outcome));
+        })
+        .expect("failed to spawn simulated process thread");
+    SimProcess {
+        req_rx,
+        resume_tx: Some(resume_tx),
+        thread: Some(thread),
+        awaiting_resume: false,
+        finished: false,
+        name: name.to_string(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "process panicked (non-string payload)".to_string()
+    }
+}
+
+impl<Req, Resp> SimProcess<Req, Resp> {
+    /// Process name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the process body has finished.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether the process is parked inside `request()` awaiting a resume.
+    pub fn awaiting_resume(&self) -> bool {
+        self.awaiting_resume
+    }
+
+    /// Block until the freshly spawned (or just-resumed) process yields.
+    ///
+    /// Use this once after [`spawn_process`] to obtain the first request;
+    /// afterwards use [`SimProcess::resume`].
+    pub fn next_yield(&mut self) -> Yielded<Req> {
+        assert!(!self.finished, "process {} already finished", self.name);
+        assert!(
+            !self.awaiting_resume,
+            "process {} is awaiting a resume, not running",
+            self.name
+        );
+        let y = self
+            .req_rx
+            .recv()
+            .expect("process thread vanished without yielding");
+        match &y {
+            Yielded::Request(_) => self.awaiting_resume = true,
+            Yielded::Finished(_) => self.finished = true,
+        }
+        y
+    }
+
+    /// Deliver `resp` to the blocked process and run it to its next yield.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is not currently awaiting a resume.
+    pub fn resume(&mut self, resp: Resp) -> Yielded<Req> {
+        assert!(
+            self.awaiting_resume,
+            "resume() on process {} that is not awaiting one",
+            self.name
+        );
+        self.awaiting_resume = false;
+        self.resume_tx
+            .as_ref()
+            .expect("resume channel already closed")
+            .send(resp)
+            .expect("process thread vanished");
+        self.next_yield()
+    }
+}
+
+impl<Req, Resp> Drop for SimProcess<Req, Resp> {
+    fn drop(&mut self) {
+        // Closing the resume channel unblocks a parked process: its recv()
+        // fails, request() panics, catch_unwind catches, the thread exits.
+        self.resume_tx = None;
+        if let Some(t) = self.thread.take() {
+            // Drain any final yield so the thread's send doesn't block (it
+            // can't: the channel is unbounded) and join it.
+            while let Ok(_y) = self.req_rx.recv() {
+                // Discard; we only care that the thread reaches its end.
+                if matches!(_y, Yielded::Finished(_)) {
+                    break;
+                }
+            }
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut p = spawn_process("adder", |port: &ProcessPort<u32, u32>| {
+            let a = port.request(1);
+            let b = port.request(a + 1);
+            assert_eq!(b, 12);
+        });
+        match p.next_yield() {
+            Yielded::Request(r) => assert_eq!(r, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.resume(10) {
+            Yielded::Request(r) => assert_eq!(r, 11),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.resume(12) {
+            Yielded::Finished(Ok(())) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(p.finished());
+    }
+
+    #[test]
+    fn immediate_finish() {
+        let mut p = spawn_process("noop", |_port: &ProcessPort<(), ()>| {});
+        match p.next_yield() {
+            Yielded::Finished(Ok(())) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_is_reported() {
+        let mut p = spawn_process("bomb", |port: &ProcessPort<u8, u8>| {
+            let _ = port.request(0);
+            panic!("kaboom {}", 42);
+        });
+        let _ = p.next_yield();
+        match p.resume(0) {
+            Yielded::Finished(Err(msg)) => assert!(msg.contains("kaboom 42")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_while_parked_shuts_down_cleanly() {
+        let mut p = spawn_process("parked", |port: &ProcessPort<u8, u8>| {
+            let _ = port.request(0);
+            let _ = port.request(1); // never resumed
+        });
+        let _ = p.next_yield();
+        drop(p); // must not hang
+    }
+
+    #[test]
+    fn many_processes_interleave_deterministically() {
+        let mut procs: Vec<SimProcess<usize, usize>> = (0..8)
+            .map(|i| {
+                spawn_process(&format!("p{i}"), move |port: &ProcessPort<usize, usize>| {
+                    let mut acc = i;
+                    for _ in 0..100 {
+                        acc = port.request(acc);
+                    }
+                    assert_eq!(acc, i + 100);
+                })
+            })
+            .collect();
+        // Round-robin resume; the kernel decides all interleaving.
+        let mut yields: Vec<Yielded<usize>> = procs.iter_mut().map(|p| p.next_yield()).collect();
+        for _round in 0..100 {
+            for (p, y) in procs.iter_mut().zip(yields.iter_mut()) {
+                let req = match y {
+                    Yielded::Request(r) => *r,
+                    Yielded::Finished(_) => continue,
+                };
+                *y = p.resume(req + 1);
+            }
+        }
+        for y in &yields {
+            assert!(matches!(y, Yielded::Finished(Ok(()))));
+        }
+    }
+}

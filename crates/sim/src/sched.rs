@@ -1,0 +1,297 @@
+//! The deterministic event scheduler.
+//!
+//! Events are boxed closures over a caller-supplied world type `W`. Two
+//! events at the same instant fire in the order they were scheduled (a
+//! monotonically increasing sequence number breaks ties), so runs are fully
+//! reproducible. Events can be cancelled by [`EventId`]; cancellation is
+//! implemented as a tombstone set consulted at pop time.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut Scheduler<W>, &mut W)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+// The heap is a max-heap; invert the ordering so the earliest (time, seq)
+// pops first.
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event scheduler over a world of type `W`.
+///
+/// The world is owned by the caller and passed by `&mut` into every event;
+/// event closures therefore never capture world references and the borrow
+/// checker stays happy even though events freely mutate global state.
+///
+/// # Examples
+///
+/// ```
+/// use svm_sim::{Scheduler, SimDuration};
+///
+/// let mut sched: Scheduler<Vec<u32>> = Scheduler::new();
+/// let mut world = Vec::new();
+/// sched.after(SimDuration::from_micros(2), |_, w: &mut Vec<u32>| w.push(2));
+/// sched.after(SimDuration::from_micros(1), |s, w: &mut Vec<u32>| {
+///     w.push(1);
+///     s.after(SimDuration::from_micros(5), |_, w: &mut Vec<u32>| w.push(3));
+/// });
+/// sched.run(&mut world);
+/// assert_eq!(world, vec![1, 2, 3]);
+/// ```
+pub struct Scheduler<W> {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// Create an empty scheduler at t = 0.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `f` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds panic, release
+    /// builds clamp to `now` so the event still runs.
+    pub fn at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static,
+    ) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `f` after a delay from now.
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Scheduler<W>, &mut W) + 'static,
+    ) -> EventId {
+        self.at(self.now + delay, f)
+    }
+
+    /// Cancel a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply check whether the event is still queued, so the
+        // tombstone set may briefly hold ids of already-fired events; they are
+        // swept when the heap drains past them. Double-cancel returns false.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Run a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        while let Some(entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.f)(self, world);
+            return true;
+        }
+        false
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until no events remain or virtual time would pass `limit`.
+    ///
+    /// Returns `true` if the queue drained, `false` if the limit stopped it
+    /// (the first event past the limit stays queued).
+    pub fn run_until(&mut self, world: &mut W, limit: SimTime) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(e) if e.at > limit => {
+                    // Skip over tombstoned entries past the limit check.
+                    if self.cancelled.contains(&e.seq) {
+                        let seq = e.seq;
+                        self.queue.pop();
+                        self.cancelled.remove(&seq);
+                        continue;
+                    }
+                    return false;
+                }
+                Some(_) => {
+                    self.step(world);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        let mut w = Vec::new();
+        s.after(SimDuration::from_nanos(30), |sc, w: &mut Vec<u64>| {
+            w.push(sc.now().as_nanos())
+        });
+        s.after(SimDuration::from_nanos(10), |sc, w: &mut Vec<u64>| {
+            w.push(sc.now().as_nanos())
+        });
+        s.after(SimDuration::from_nanos(20), |sc, w: &mut Vec<u64>| {
+            w.push(sc.now().as_nanos())
+        });
+        s.run(&mut w);
+        assert_eq!(w, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+        let mut w = Vec::new();
+        for i in 0..10u32 {
+            s.after(SimDuration::from_nanos(5), move |_, w: &mut Vec<u32>| {
+                w.push(i)
+            });
+        }
+        s.run(&mut w);
+        assert_eq!(w, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut w = 0u32;
+        s.after(SimDuration::from_nanos(1), |sc, w: &mut u32| {
+            *w += 1;
+            sc.after(SimDuration::from_nanos(1), |_, w: &mut u32| *w += 10);
+        });
+        s.run(&mut w);
+        assert_eq!(w, 11);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut w = 0u32;
+        let id = s.after(SimDuration::from_nanos(5), |_, w: &mut u32| *w += 1);
+        s.after(SimDuration::from_nanos(6), |_, w: &mut u32| *w += 100);
+        assert!(s.cancel(id));
+        assert!(!s.cancel(id), "double cancel must report false");
+        s.run(&mut w);
+        assert_eq!(w, 100);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        let mut w = Vec::new();
+        for t in [10u64, 20, 30] {
+            s.at(SimTime::from_nanos(t), move |_, w: &mut Vec<u64>| w.push(t));
+        }
+        let drained = s.run_until(&mut w, SimTime::from_nanos(20));
+        assert!(!drained);
+        assert_eq!(w, vec![10, 20]);
+        s.run(&mut w);
+        assert_eq!(w, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let mut s: Scheduler<Vec<u64>> = Scheduler::new();
+        let mut w = Vec::new();
+        s.at(SimTime::from_nanos(7), |sc, _w: &mut Vec<u64>| {
+            assert_eq!(sc.now().as_nanos(), 7);
+        });
+        s.run(&mut w);
+        assert_eq!(s.now().as_nanos(), 7);
+        // Scheduling after the run keeps the final clock.
+        s.after(SimDuration::from_nanos(3), |sc, _| {
+            assert_eq!(sc.now().as_nanos(), 10);
+        });
+        s.run(&mut w);
+    }
+
+    #[test]
+    fn pending_counts_exclude_cancelled() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        let a = s.after(SimDuration::from_nanos(1), |_, _| {});
+        let _b = s.after(SimDuration::from_nanos(2), |_, _| {});
+        assert_eq!(s.pending(), 2);
+        s.cancel(a);
+        assert_eq!(s.pending(), 1);
+    }
+}

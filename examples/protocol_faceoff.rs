@@ -1,0 +1,66 @@
+//! Protocol face-off: run one of the paper's workloads under all four
+//! protocols at several machine sizes and print speedups and breakdowns —
+//! a miniature of the paper's Table 2 / Figure 3.
+//!
+//! Run with `cargo run --release --example protocol_faceoff -- [app] [scale]`
+//! where `app` is one of `lu`, `sor`, `water-ns`, `water-sp`, `raytrace`
+//! (default `sor`) and `scale` defaults to 0.25.
+
+use hlrc::apps::paper_suite;
+use hlrc::core::{ProtocolName, SvmConfig};
+use hlrc::machine::Category;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("sor")
+        .to_lowercase();
+    let scale: f64 = args
+        .get(1)
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(0.25);
+
+    let bench = paper_suite(scale)
+        .into_iter()
+        .find(|b| {
+            b.name()
+                .to_lowercase()
+                .replace("nsquared", "ns")
+                .replace("spatial", "sp")
+                .contains(&which.replace('-', ""))
+        })
+        .unwrap_or_else(|| panic!("unknown app {which}"));
+
+    println!(
+        "{} ({}), sequential time {:.1}s\n",
+        bench.name(),
+        bench.size_label(),
+        bench.seq_secs()
+    );
+    println!(
+        "{:<8} {:>6} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "protocol", "nodes", "speedup", "compute%", "data%", "lock%", "barrier%", "proto%"
+    );
+    for nodes in [8usize, 32] {
+        for protocol in ProtocolName::ALL {
+            let report = bench.run(&SvmConfig::new(protocol, nodes)).report;
+            let b = report.avg_breakdown();
+            let total = b.total().as_secs_f64();
+            let pct = |c: Category| b[c].as_secs_f64() / total * 100.0;
+            println!(
+                "{:<8} {:>6} {:>10.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                protocol.label(),
+                nodes,
+                report.speedup_vs(bench.seq_secs()),
+                pct(Category::Compute),
+                pct(Category::DataTransfer),
+                pct(Category::Lock),
+                pct(Category::Barrier),
+                pct(Category::Protocol),
+            );
+        }
+        println!();
+    }
+}

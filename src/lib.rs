@@ -1,0 +1,45 @@
+//! Home-based Lazy Release Consistency for shared virtual memory.
+//!
+//! This is the umbrella crate of a from-scratch reproduction of
+//! *"Performance Evaluation of Two Home-Based Lazy Release Consistency
+//! Protocols for Shared Virtual Memory Systems"* (Zhou, Iftode, Li —
+//! OSDI '96). It re-exports the full stack:
+//!
+//! * [`sim`] — deterministic discrete-event kernel and coroutine processes;
+//! * [`machine`] — the Paragon-like multicomputer model (compute processor
+//!   + communication co-processor per node, calibrated cost model);
+//! * [`mem`] — pages, twins, word-granularity diffs, the global heap;
+//! * [`core`] — the four protocols: LRC, OLRC, HLRC, OHLRC;
+//! * [`apps`] — the five Splash-2-style workloads of the paper's
+//!   evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use hlrc::core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
+//!
+//! // Four nodes increment a shared counter under a lock, under the
+//! // Home-based LRC protocol.
+//! let cfg = SvmConfig::new(ProtocolName::Hlrc, 4);
+//! let report = run(
+//!     &cfg,
+//!     |setup| setup.alloc_array::<u64>(1, "counter"),
+//!     |ctx, counter| {
+//!         for _ in 0..10 {
+//!             ctx.lock(LockId(0));
+//!             let v = counter.get(ctx, 0);
+//!             counter.set(ctx, 0, v + 1);
+//!             ctx.unlock(LockId(0));
+//!         }
+//!         ctx.barrier(BarrierId(0));
+//!         assert_eq!(counter.get(ctx, 0), 40);
+//!     },
+//! );
+//! assert!(report.secs() > 0.0);
+//! ```
+
+pub use svm_apps as apps;
+pub use svm_core as core;
+pub use svm_machine as machine;
+pub use svm_mem as mem;
+pub use svm_sim as sim;
