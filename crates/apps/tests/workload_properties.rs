@@ -1,0 +1,80 @@
+//! Property-based workload testing on the in-tree `svm-testkit` harness:
+//! randomly-shaped problem instances must reproduce the sequential
+//! reference bit-for-bit under randomly drawn protocol/node configurations
+//! — the fuzzing companion to the fixed-size suite in
+//! `app_correctness.rs`.
+
+use svm_apps::sor::{Sor, SorInit};
+use svm_apps::tsp::Tsp;
+use svm_apps::Benchmark;
+use svm_core::{ProtocolName, SvmConfig};
+use svm_testkit::check;
+
+/// SOR over arbitrary small grids: every protocol (plus the AURC
+/// reference) must match the sequential checksum for any geometry,
+/// iteration count, and node count — including degenerate single-row and
+/// more-nodes-than-rows splits.
+#[test]
+fn sor_random_geometry_matches_sequential() {
+    check(
+        "sor_random_geometry_matches_sequential",
+        |src| {
+            let sor = Sor {
+                rows: src.usize_in(2..20),
+                cols: src.usize_in(8..48),
+                iters: src.usize_in(1..5),
+                init: if src.bool() {
+                    SorInit::Random
+                } else {
+                    SorInit::ZeroInterior
+                },
+                verify: true,
+            };
+            let nodes = src.usize_in(1..6);
+            let protocol = *src.pick(&ProtocolName::WITH_AURC);
+            (sor, nodes, protocol)
+        },
+        |(sor, nodes, protocol)| {
+            let want = sor.expected_checksum();
+            let run = sor.run(&SvmConfig::new(*protocol, *nodes));
+            assert_eq!(
+                run.checksum,
+                want,
+                "SOR {}x{}x{} under {protocol} x{nodes} diverged from sequential",
+                sor.rows,
+                sor.cols,
+                sor.iters
+            );
+            assert!(run.report.secs() > 0.0);
+        },
+    );
+}
+
+/// Branch-and-bound TSP on arbitrary small instances: the parallel search
+/// must find the same optimum as the sequential solver under every
+/// protocol, for any node count (work stealing makes the traversal order
+/// node-count dependent, the result must not be).
+#[test]
+fn tsp_random_instances_find_the_optimum() {
+    check(
+        "tsp_random_instances_find_the_optimum",
+        |src| {
+            let tsp = Tsp {
+                n: src.usize_in(4..9),
+                verify: true,
+            };
+            let nodes = src.usize_in(1..5);
+            let protocol = *src.pick(&ProtocolName::ALL);
+            (tsp, nodes, protocol)
+        },
+        |(tsp, nodes, protocol)| {
+            let want = tsp.expected_checksum();
+            let run = tsp.run(&SvmConfig::new(*protocol, *nodes));
+            assert_eq!(
+                run.checksum, want,
+                "TSP n={} under {protocol} x{nodes} missed the optimum",
+                tsp.n
+            );
+        },
+    );
+}

@@ -1,11 +1,11 @@
 //! Wall-clock microbenchmarks of the protocol's software primitives — the
 //! real-hardware analogue of the paper's Table 3 software rows (twin copy,
 //! diff creation/application) plus the supporting machinery (vector-time
-//! operations, causal sorting).
+//! operations, causal sorting). Runs on the in-tree `svm-testkit` timing
+//! harness.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use std::rc::Rc;
+use svm_testkit::bench::{black_box, Harness};
 
 use svm_core::msg::DiffPacket;
 use svm_core::VectorTime;
@@ -25,36 +25,31 @@ fn dirty_page(words_dirty: usize) -> (Vec<u8>, Vec<u8>) {
     (twin, cur)
 }
 
-fn bench_diffs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diff");
+fn bench_diffs(h: &mut Harness) {
     for dirty in [1usize, 64, 2048] {
         let (twin, cur) = dirty_page(dirty);
-        g.bench_function(format!("create/{dirty}w"), |b| {
-            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)))
+        h.bench(&format!("diff/create/{dirty}w"), || {
+            Diff::create(black_box(&twin), black_box(&cur))
         });
         let d = Diff::create(&twin, &cur);
-        g.bench_function(format!("apply/{dirty}w"), |b| {
-            b.iter_batched(
-                || twin.clone(),
-                |mut dst| d.apply(black_box(&mut dst)),
-                BatchSize::SmallInput,
-            )
-        });
+        h.bench_batched(
+            &format!("diff/apply/{dirty}w"),
+            || twin.clone(),
+            |mut dst| d.apply(black_box(&mut dst)),
+        );
     }
     let (twin, cur) = dirty_page(128);
     let a = Diff::create(&twin, &cur);
     let b2 = Diff::create(&cur, &twin);
-    g.bench_function("merge/128w", |b| b.iter(|| a.merge(black_box(&b2), PAGE)));
-    g.finish();
+    h.bench("diff/merge/128w", || a.merge(black_box(&b2), PAGE));
 }
 
-fn bench_twin(c: &mut Criterion) {
+fn bench_twin(h: &mut Harness) {
     let mut buf = PageBuf::new_zeroed(PAGE);
-    c.bench_function("twin_copy/8KB", |b| b.iter(|| black_box(buf.to_vec())));
+    h.bench("twin_copy/8KB", || black_box(buf.to_vec()));
 }
 
-fn bench_vt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vector_time");
+fn bench_vt(h: &mut Harness) {
     for nodes in [8usize, 64] {
         let mut a = VectorTime::zero(nodes);
         let mut bb = VectorTime::zero(nodes);
@@ -62,21 +57,18 @@ fn bench_vt(c: &mut Criterion) {
             a.set(NodeId(i as u16), (i * 3) as u32);
             bb.set(NodeId(i as u16), (i * 2 + 1) as u32);
         }
-        g.bench_function(format!("merge/{nodes}"), |bch| {
-            bch.iter_batched(
-                || a.clone(),
-                |mut x| x.merge(black_box(&bb)),
-                BatchSize::SmallInput,
-            )
-        });
-        g.bench_function(format!("dominates/{nodes}"), |bch| {
-            bch.iter(|| black_box(&a).dominates(black_box(&bb)))
+        h.bench_batched(
+            &format!("vector_time/merge/{nodes}"),
+            || a.clone(),
+            |mut x| x.merge(black_box(&bb)),
+        );
+        h.bench(&format!("vector_time/dominates/{nodes}"), || {
+            black_box(&a).dominates(black_box(&bb))
         });
     }
-    g.finish();
 }
 
-fn bench_causal_sort(c: &mut Criterion) {
+fn bench_causal_sort(h: &mut Harness) {
     let make = |n: usize| -> Vec<DiffPacket> {
         (0..n)
             .map(|i| {
@@ -94,22 +86,20 @@ fn bench_causal_sort(c: &mut Criterion) {
             })
             .collect()
     };
-    let mut g = c.benchmark_group("causal_sort");
     for n in [4usize, 16, 64] {
-        g.bench_function(format!("{n}_diffs"), |b| {
-            b.iter_batched(
-                || make(n),
-                |mut v| svm_core::protocol::fault::causal_sort(black_box(&mut v)),
-                BatchSize::SmallInput,
-            )
-        });
+        h.bench_batched(
+            &format!("causal_sort/{n}_diffs"),
+            || make(n),
+            |mut v| svm_core::protocol::fault::causal_sort(black_box(&mut v)),
+        );
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_diffs, bench_twin, bench_vt, bench_causal_sort
+fn main() {
+    let mut h = Harness::from_args();
+    bench_diffs(&mut h);
+    bench_twin(&mut h);
+    bench_vt(&mut h);
+    bench_causal_sort(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

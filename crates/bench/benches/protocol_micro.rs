@@ -1,11 +1,11 @@
 //! Protocol micro-scenarios: the *simulated* latency of the paper's basic
 //! transactions (page miss round trips, lock handoffs), measured end to end
-//! through the full stack, per protocol. Criterion measures our wall-clock
-//! cost of simulating them; the simulated times themselves are asserted
-//! against the paper's Section-4.3 minimums in `svm-core`'s tests.
+//! through the full stack, per protocol. The harness measures our
+//! wall-clock cost of simulating them; the simulated times themselves are
+//! asserted against the paper's Section-4.3 minimums in `svm-core`'s
+//! tests.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use svm_testkit::bench::{black_box, Harness};
 
 use svm_core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
 
@@ -49,19 +49,15 @@ fn lock_pingpong(protocol: ProtocolName) -> f64 {
     report.secs()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(20);
+fn main() {
+    let mut h = Harness::from_args();
     for protocol in ProtocolName::ALL {
-        g.bench_function(format!("page_miss/{protocol}"), |b| {
-            b.iter(|| black_box(page_miss(protocol)))
+        h.bench(&format!("simulate/page_miss/{protocol}"), || {
+            black_box(page_miss(protocol))
         });
-        g.bench_function(format!("lock_pingpong/{protocol}"), |b| {
-            b.iter(|| black_box(lock_pingpong(protocol)))
+        h.bench(&format!("simulate/lock_pingpong/{protocol}"), || {
+            black_box(lock_pingpong(protocol))
         });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,44 +2,43 @@
 //! of a small end-to-end workload run — how fast the reproduction itself
 //! executes (events per second, full SOR iterations per second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use svm_testkit::bench::{black_box, Harness};
 
 use svm_apps::sor::Sor;
 use svm_apps::Benchmark;
 use svm_core::{ProtocolName, SvmConfig};
 use svm_sim::{Scheduler, SimDuration};
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("scheduler/10k_events", |b| {
-        b.iter(|| {
-            let mut s: Scheduler<u64> = Scheduler::new();
-            let mut world = 0u64;
-            for i in 0..10_000u64 {
-                s.after(SimDuration::from_nanos(i % 97), |_, w: &mut u64| *w += 1);
-            }
-            s.run(&mut world);
-            black_box(world)
-        })
+fn bench_scheduler(h: &mut Harness) {
+    h.bench("scheduler/10k_events", || {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut world = 0u64;
+        for i in 0..10_000u64 {
+            s.after(SimDuration::from_nanos(i % 97), |_, w: &mut u64| *w += 1);
+        }
+        s.run(&mut world);
+        black_box(world)
     });
 }
 
-fn bench_sor_run(c: &mut Criterion) {
+fn bench_sor_run(h: &mut Harness) {
     let sor = Sor {
         rows: 64,
         cols: 128,
         iters: 3,
         ..Sor::scaled(0.1)
     };
-    let mut g = c.benchmark_group("end_to_end_sor_64x128x3");
-    g.sample_size(10);
     for protocol in [ProtocolName::Lrc, ProtocolName::Ohlrc] {
-        g.bench_function(protocol.label(), |b| {
-            b.iter(|| black_box(sor.run(&SvmConfig::new(protocol, 8)).report.secs()))
-        });
+        h.bench(
+            &format!("end_to_end_sor_64x128x3/{}", protocol.label()),
+            || black_box(sor.run(&SvmConfig::new(protocol, 8)).report.secs()),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_scheduler, bench_sor_run);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_scheduler(&mut h);
+    bench_sor_run(&mut h);
+    h.finish();
+}

@@ -124,15 +124,13 @@ impl SvmAgent {
             };
             // The directory node holds the initialized copy at spawn (the
             // post-initialization distribution); under first-touch it stays
-            // in the golden image until someone faults.
+            // in the golden image until someone faults (`resolve_home`).
             let owner = home.unwrap_or(NodeId(0));
-            if home.is_some() || matches!(cfg.home_policy, HomePolicy::FirstTouch) {
-                let st = &mut nodes_st[owner.index()].pages[p as usize];
-                if home.is_some() {
-                    let base = p as usize * ps;
-                    st.buf = Some(PageBuf::from_slice(&golden[base..base + ps]));
-                    st.access = svm_mem::Access::ReadOnly;
-                }
+            if let Some(h) = home {
+                let st = &mut nodes_st[h.index()].pages[p as usize];
+                let base = p as usize * ps;
+                st.buf = Some(PageBuf::from_slice(&golden[base..base + ps]));
+                st.access = svm_mem::Access::ReadOnly;
             }
             dir.push(DirEntry {
                 home,
@@ -319,6 +317,81 @@ impl SvmAgent {
                 self.on_diff_task(ctx, at.node, interval, vt, items)
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::NodeCache;
+    use crate::config::ProtocolName;
+
+    fn first_touch_agent(nodes: usize, num_pages: u32) -> SvmAgent {
+        let mut cfg = SvmConfig::new(ProtocolName::Hlrc, nodes);
+        cfg.home_policy = HomePolicy::FirstTouch;
+        let geometry = Geometry::new(cfg.page_size());
+        let golden: Vec<u8> = (0..num_pages as usize * geometry.page_size())
+            .map(|i| i as u8)
+            .collect();
+        let caches = (0..nodes)
+            .map(|_| HandoffCell::new(NodeCache::new(num_pages as usize)))
+            .collect();
+        SvmAgent::new(cfg, geometry, num_pages, golden, Vec::new(), caches)
+    }
+
+    #[test]
+    fn first_touch_pages_stay_unmaterialized_until_resolved() {
+        let mut agent = first_touch_agent(4, 8);
+        // At spawn no page is homed and no node holds a copy: the data
+        // lives only in the golden image.
+        for p in 0..8 {
+            assert_eq!(agent.dir[p].home, None);
+            for n in 0..4 {
+                let st = &agent.nodes_st[n].pages[p];
+                assert!(st.buf.is_none(), "page {p} materialized early on node {n}");
+                assert_eq!(st.access, svm_mem::Access::Invalid);
+            }
+        }
+
+        // The first access homes the page at the toucher and materializes
+        // exactly one copy, with the initialized contents.
+        let home = agent.resolve_home(PageNum(3), NodeId(2));
+        assert_eq!(home, NodeId(2));
+        assert_eq!(agent.dir[3].home, Some(NodeId(2)));
+        let ps = agent.page_size();
+        let st = &agent.nodes_st[2].pages[3];
+        assert_eq!(st.access, svm_mem::Access::ReadOnly);
+        // SAFETY: no application threads exist in this test; the kernel
+        // phase contract trivially holds.
+        let bytes = unsafe { st.buf.as_ref().unwrap().bytes() };
+        assert_eq!(bytes, &agent.golden[3 * ps..4 * ps]);
+        for n in [0usize, 1, 3] {
+            assert!(agent.nodes_st[n].pages[3].buf.is_none());
+        }
+        // Other pages remain untouched, and resolution is sticky.
+        assert!(agent.nodes_st[2].pages[4].buf.is_none());
+        assert_eq!(agent.resolve_home(PageNum(3), NodeId(0)), NodeId(2));
+    }
+
+    #[test]
+    fn explicit_homes_materialize_at_spawn() {
+        let cfg = SvmConfig::new(ProtocolName::Hlrc, 2);
+        let geometry = Geometry::new(cfg.page_size());
+        let ps = geometry.page_size();
+        let golden = vec![0xAB; 2 * ps];
+        let caches = (0..2).map(|_| HandoffCell::new(NodeCache::new(2))).collect();
+        let agent = SvmAgent::new(
+            cfg,
+            geometry,
+            2,
+            golden,
+            vec![Some(NodeId(1)), Some(NodeId(0))],
+            caches,
+        );
+        assert_eq!(agent.dir[0].home, Some(NodeId(1)));
+        assert!(agent.nodes_st[1].pages[0].buf.is_some());
+        assert!(agent.nodes_st[0].pages[0].buf.is_none());
+        assert!(agent.nodes_st[0].pages[1].buf.is_some());
     }
 }
 

@@ -7,9 +7,12 @@
 //! guarded by a fixed lock), so every protocol must make the final state
 //! equal the obvious sequential reduction (cell value = number of
 //! increments), and all protocols must agree with each other.
+//!
+//! Runs on the in-tree `svm-testkit` harness: deterministic seeded cases,
+//! choice-sequence shrinking, `TESTKIT_SEED=…` reproduction.
 
-use proptest::prelude::*;
 use svm_core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
+use svm_testkit::{check, Source};
 
 /// One step of a node's schedule.
 #[derive(Clone, Debug)]
@@ -24,15 +27,23 @@ enum Step {
 const CELLS: usize = 24;
 const LOCKS: u32 = 5;
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        ((0..CELLS), (1u16..200)).prop_map(|(cell, cs_us)| Step::Bump { cell, cs_us }),
-        (1u16..500).prop_map(|us| Step::Think { us }),
-    ]
+fn step(src: &mut Source) -> Step {
+    if src.bool() {
+        Step::Think {
+            us: src.u16_in(1..500),
+        }
+    } else {
+        Step::Bump {
+            cell: src.usize_in(0..CELLS),
+            cs_us: src.u16_in(1..200),
+        }
+    }
 }
 
-fn arb_schedules(nodes: usize) -> impl Strategy<Value = Vec<Vec<Step>>> {
-    proptest::collection::vec(proptest::collection::vec(arb_step(), 0..25), nodes)
+/// Per-node schedules for a node count drawn from `nodes`.
+fn schedules(src: &mut Source, nodes: std::ops::Range<usize>) -> Vec<Vec<Step>> {
+    let n = src.usize_in(nodes);
+    (0..n).map(|_| src.vec(0..25, step)).collect()
 }
 
 fn expected_counts(schedules: &[Vec<Step>]) -> Vec<u64> {
@@ -47,7 +58,7 @@ fn expected_counts(schedules: &[Vec<Step>]) -> Vec<u64> {
     counts
 }
 
-fn run_one(protocol: ProtocolName, schedules: Vec<Vec<Step>>) -> (f64, Vec<u64>) {
+fn run_one(protocol: ProtocolName, schedules: Vec<Vec<Step>>) -> f64 {
     let nodes = schedules.len();
     let expected = expected_counts(&schedules);
     let cfg = SvmConfig::new(protocol, nodes);
@@ -81,31 +92,124 @@ fn run_one(protocol: ProtocolName, schedules: Vec<Vec<Step>>) -> (f64, Vec<u64>)
             ctx.barrier(BarrierId(1));
         },
     );
-    let finals = (0..CELLS).map(|_| 0).collect(); // verified in-body
-    (report.secs(), finals)
+    report.secs()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// All four protocols compute the same (correct) final state for
+/// arbitrary race-free programs on 2–6 nodes.
+#[test]
+fn protocols_agree_on_random_programs() {
+    check(
+        "protocols_agree_on_random_programs",
+        |src| schedules(src, 2..7),
+        |scheds| {
+            for protocol in ProtocolName::ALL {
+                run_one(protocol, scheds.clone());
+            }
+        },
+    );
+}
 
-    /// All four protocols compute the same (correct) final state for
-    /// arbitrary race-free programs on 2–6 nodes.
-    #[test]
-    fn protocols_agree_on_random_programs(
-        schedules in (2usize..=6).prop_flat_map(arb_schedules)
-    ) {
-        for protocol in ProtocolName::ALL {
-            let (_secs, _) = run_one(protocol, schedules.clone());
-        }
+/// The same schedule under the same protocol is bit-deterministic.
+#[test]
+fn random_programs_are_deterministic() {
+    check(
+        "random_programs_are_deterministic",
+        |src| schedules(src, 2..5),
+        |scheds| {
+            let a = run_one(ProtocolName::Hlrc, scheds.clone());
+            let b = run_one(ProtocolName::Hlrc, scheds.clone());
+            assert_eq!(a, b);
+        },
+    );
+}
+
+/// Pinned regression (formerly `.proptest-regressions`, seed
+/// `00f7d232…`): a six-node schedule whose lock-chained increments once
+/// exposed a lost-update ordering bug. All four protocols must reproduce
+/// the sequential reduction.
+#[test]
+fn regression_six_node_lock_chain() {
+    use Step::{Bump, Think};
+    fn b(cell: usize, cs_us: u16) -> Step {
+        Bump { cell, cs_us }
     }
-
-    /// The same schedule under the same protocol is bit-deterministic.
-    #[test]
-    fn random_programs_are_deterministic(
-        schedules in (2usize..=4).prop_flat_map(arb_schedules)
-    ) {
-        let (a, _) = run_one(ProtocolName::Hlrc, schedules.clone());
-        let (b, _) = run_one(ProtocolName::Hlrc, schedules);
-        prop_assert_eq!(a, b);
+    fn t(us: u16) -> Step {
+        Think { us }
+    }
+    let schedules = vec![
+        vec![b(13, 75), b(2, 1), b(2, 1), b(14, 1), b(18, 1)],
+        vec![
+            b(13, 100),
+            b(17, 163),
+            b(13, 101),
+            b(11, 65),
+            t(147),
+            t(110),
+            t(327),
+            t(107),
+        ],
+        vec![b(5, 131), b(0, 173), t(285), t(151), t(299)],
+        vec![
+            t(14),
+            t(133),
+            t(262),
+            b(6, 147),
+            b(6, 5),
+            t(371),
+            b(8, 181),
+            b(17, 183),
+            b(16, 85),
+            b(17, 127),
+            t(282),
+            t(34),
+            b(1, 168),
+            b(22, 123),
+            t(398),
+        ],
+        vec![
+            t(242),
+            b(19, 173),
+            t(362),
+            t(299),
+            t(183),
+            t(490),
+            t(400),
+            t(270),
+            t(173),
+            t(388),
+            t(437),
+            t(270),
+            b(3, 124),
+        ],
+        vec![
+            t(266),
+            b(7, 57),
+            b(3, 106),
+            b(18, 65),
+            t(371),
+            b(14, 76),
+            t(78),
+            b(17, 68),
+            t(292),
+            t(225),
+            b(8, 24),
+            t(398),
+            b(0, 34),
+            t(27),
+            t(57),
+            t(394),
+            b(3, 184),
+            t(33),
+            b(16, 166),
+            b(6, 104),
+            b(9, 70),
+            b(23, 4),
+            b(6, 196),
+            t(144),
+        ],
+    ];
+    for protocol in ProtocolName::ALL {
+        run_one(protocol, schedules.clone());
     }
 }

@@ -1,0 +1,143 @@
+//! A std-only micro-benchmark harness for the `harness = false` bench
+//! binaries in `crates/bench` — the hermetic stand-in for criterion.
+//!
+//! Methodology: warm up, calibrate an iteration count so one sample takes
+//! a few milliseconds, take a fixed number of samples, and report the
+//! median (with min and mean) in ns/iteration. `black_box` is re-exported
+//! from `std::hint` so bench bodies keep optimizer barriers.
+//!
+//! Run with `cargo bench` as before; an optional positional argument
+//! filters benchmarks by substring (`cargo bench -- diff/create`).
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE_NANOS: u128 = 4_000_000;
+
+/// A group of timed benchmarks printed as one table.
+pub struct Harness {
+    filter: Option<String>,
+    rows: Vec<(String, Stats)>,
+}
+
+struct Stats {
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Harness {
+    /// A harness honoring the CLI: flags (`--bench`, cargo's harness args)
+    /// are ignored, the first positional argument becomes a substring
+    /// filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            rows: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Time `f`, reporting ns per call.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm up and estimate a single-call cost.
+        let per_call = {
+            let t = Instant::now();
+            let mut calls = 0u64;
+            while t.elapsed().as_millis() < 10 {
+                black_box(f());
+                calls += 1;
+            }
+            (t.elapsed().as_nanos() / calls.max(1) as u128).max(1)
+        };
+        let iters = ((TARGET_SAMPLE_NANOS / per_call) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(name, samples, iters);
+    }
+
+    /// Time `routine` over inputs produced by `setup`, excluding setup
+    /// cost (the analogue of `iter_batched`).
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        let per_call = {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed().as_nanos().max(1)
+        };
+        let iters = ((TARGET_SAMPLE_NANOS / per_call) as u64).clamp(1, 100_000);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(name, samples, iters);
+    }
+
+    fn push(&mut self, name: &str, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+            iters,
+        };
+        eprintln!("  {name:<40} {}", fmt_ns(stats.median_ns));
+        self.rows.push((name.to_string(), stats));
+    }
+
+    /// Print the final table. Call last in the bench `main`.
+    pub fn finish(self) {
+        println!("\n{:<40} {:>12} {:>12} {:>12} {:>10}", "benchmark", "median", "min", "mean", "iters");
+        for (name, s) in &self.rows {
+            println!(
+                "{name:<40} {:>12} {:>12} {:>12} {:>10}",
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.mean_ns),
+                s.iters
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}

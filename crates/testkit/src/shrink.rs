@@ -1,0 +1,168 @@
+//! Greedy shrinking over recorded choice sequences.
+//!
+//! The shrinker never sees generated values; it edits the raw choice
+//! sequence and re-runs the property on the replayed input. Three kinds of
+//! edit, applied in passes until a full round makes no progress (or the
+//! attempt budget runs out — shrinking therefore always terminates):
+//!
+//! 1. **delete spans** — removes whole chunks of choices (large blocks
+//!    first), which drops generated elements and shifts later structure
+//!    toward the front;
+//! 2. **zero spans** — forces chunks to the minimal choice, collapsing the
+//!    values they generate to range minimums;
+//! 3. **minimize choices** — binary-searches each individual choice down
+//!    to the smallest value that still fails.
+//!
+//! An edited sequence "improves" on the current best if the property still
+//! fails and the sequence got shorter or (at equal length) pointwise
+//! no larger. After every accepted edit the sequence is trimmed to the
+//! choices the replay actually consumed, so stale tails never linger.
+
+/// Outcome of replaying one candidate sequence.
+pub(crate) enum Replay {
+    /// Property passed (or the input was no longer interesting).
+    Pass,
+    /// Property still fails; carries the choices the run consumed.
+    Fail { consumed: Vec<u64> },
+}
+
+/// Shrink `initial` with at most `budget` replays. Returns the best
+/// (smallest) failing sequence found and the number of replays spent.
+pub(crate) fn shrink(
+    initial: Vec<u64>,
+    budget: u32,
+    mut replay: impl FnMut(&[u64]) -> Replay,
+) -> (Vec<u64>, u32) {
+    let mut best = initial;
+    let mut spent = 0u32;
+
+    // Try a candidate; adopt it if it still fails and is simpler.
+    macro_rules! attempt {
+        ($cand:expr) => {{
+            let cand: Vec<u64> = $cand;
+            let mut adopted = false;
+            if spent < budget && simpler(&cand, &best) {
+                spent += 1;
+                if let Replay::Fail { consumed } = replay(&cand) {
+                    // Keep only what the run consumed: edits that shorten
+                    // generated collections leave dead choices behind.
+                    best = if consumed.len() < cand.len() {
+                        consumed
+                    } else {
+                        cand
+                    };
+                    adopted = true;
+                }
+            }
+            adopted
+        }};
+    }
+
+    loop {
+        let mut progress = false;
+
+        // Pass 1: delete spans, largest first.
+        for width in [64usize, 16, 4, 1] {
+            let mut start = 0;
+            while start < best.len() && spent < budget {
+                if start + width <= best.len() {
+                    let mut cand = best.clone();
+                    cand.drain(start..start + width);
+                    if attempt!(cand) {
+                        progress = true;
+                        continue; // same start now names the next span
+                    }
+                }
+                start += width.max(1);
+            }
+        }
+
+        // Pass 2: zero spans.
+        for width in [8usize, 2, 1] {
+            let mut start = 0;
+            while start + width <= best.len() && spent < budget {
+                if best[start..start + width].iter().any(|&c| c != 0) {
+                    let mut cand = best.clone();
+                    cand[start..start + width].fill(0);
+                    if attempt!(cand) {
+                        progress = true;
+                    }
+                }
+                start += width;
+            }
+        }
+
+        // Pass 3: minimize each remaining choice by binary search.
+        for i in 0..best.len() {
+            if spent >= budget {
+                break;
+            }
+            // Invariant: `best[i]` fails; search the smallest failing value.
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while lo < hi && spent < budget {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                if attempt!(cand) {
+                    progress = true;
+                    if i >= best.len() {
+                        break; // trim consumed the tail including i
+                    }
+                    hi = best[i];
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        if !progress || spent >= budget {
+            return (best, spent);
+        }
+    }
+}
+
+/// Candidate ordering: shorter wins; at equal length, pointwise no larger
+/// and strictly smaller somewhere.
+fn simpler(cand: &[u64], best: &[u64]) -> bool {
+    if cand.len() != best.len() {
+        return cand.len() < best.len();
+    }
+    let mut strictly = false;
+    for (c, b) in cand.iter().zip(best) {
+        if c > b {
+            return false;
+        }
+        strictly |= c < b;
+    }
+    strictly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure: the sequence contains a choice >= 1000.
+    fn fails_if_big(choices: &[u64]) -> Replay {
+        match choices.iter().position(|&c| c >= 1000) {
+            Some(i) => Replay::Fail {
+                consumed: choices[..=i].to_vec(),
+            },
+            None => Replay::Pass,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_minimal_choice() {
+        let noisy: Vec<u64> = (0..200).map(|i| (i * 37) % 900).chain([5000]).collect();
+        let (best, _) = shrink(noisy, 10_000, fails_if_big);
+        assert_eq!(best, vec![1000], "greedy shrink should reach the minimum");
+    }
+
+    #[test]
+    fn respects_budget_and_terminates() {
+        let noisy: Vec<u64> = (0..500).map(|i| i + 2000).collect();
+        let (best, spent) = shrink(noisy, 50, fails_if_big);
+        assert!(spent <= 50);
+        assert!(matches!(fails_if_big(&best), Replay::Fail { .. }));
+    }
+}

@@ -1,0 +1,177 @@
+//! The choice stream generators draw from.
+//!
+//! A [`Source`] either draws fresh 64-bit choices from a seeded
+//! [`SplitMix64`] (generation) or replays a recorded sequence (shrinking
+//! and failure reproduction). Every primitive below maps the raw choice to
+//! a value *monotonically*, with choice 0 producing the minimal value —
+//! that is the contract the choice-sequence shrinker relies on: zeroing or
+//! decreasing a choice can only simplify the generated input.
+
+use std::ops::Range;
+use svm_sim::SplitMix64;
+
+enum Stream {
+    /// Live generation from the seeded RNG.
+    Random(SplitMix64),
+    /// Replay of a recorded sequence; reads past the end yield 0 (the
+    /// minimal choice), so deleting trailing choices is always legal.
+    Replay { choices: Vec<u64>, pos: usize },
+}
+
+/// A recorded stream of random choices; the single argument every
+/// generator takes.
+pub struct Source {
+    stream: Stream,
+    log: Vec<u64>,
+}
+
+impl Source {
+    /// A live source seeded with `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Source {
+            stream: Stream::Random(SplitMix64::new(seed)),
+            log: Vec::new(),
+        }
+    }
+
+    /// A replaying source over a recorded choice sequence.
+    pub fn from_choices(choices: &[u64]) -> Self {
+        Source {
+            stream: Stream::Replay {
+                choices: choices.to_vec(),
+                pos: 0,
+            },
+            log: Vec::new(),
+        }
+    }
+
+    /// The choices drawn so far (the replayable description of the input).
+    pub fn log(&self) -> &[u64] {
+        &self.log
+    }
+
+    /// Next raw 64-bit choice.
+    fn next_raw(&mut self) -> u64 {
+        let v = match &mut self.stream {
+            Stream::Random(rng) => rng.next_u64(),
+            Stream::Replay { choices, pos } => {
+                let v = choices.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// Uniform integer in `[0, n)`. Monotone in the underlying choice
+    /// (multiply-shift bounded generation), so smaller choices give
+    /// smaller values and choice 0 gives 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Source::below(0)");
+        ((self.next_raw() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `u64` in a half-open range.
+    pub fn u64_in(&mut self, r: Range<u64>) -> u64 {
+        assert!(r.start < r.end, "empty range");
+        r.start + self.below(r.end - r.start)
+    }
+
+    /// Uniform `usize` in a half-open range.
+    pub fn usize_in(&mut self, r: Range<usize>) -> usize {
+        self.u64_in(r.start as u64..r.end as u64) as usize
+    }
+
+    /// Uniform `u32` in a half-open range.
+    pub fn u32_in(&mut self, r: Range<u32>) -> u32 {
+        self.u64_in(r.start as u64..r.end as u64) as u32
+    }
+
+    /// Uniform `u16` in a half-open range.
+    pub fn u16_in(&mut self, r: Range<u16>) -> u16 {
+        self.u64_in(r.start as u64..r.end as u64) as u16
+    }
+
+    /// An arbitrary byte.
+    pub fn byte(&mut self) -> u8 {
+        self.below(256) as u8
+    }
+
+    /// An arbitrary little-endian 4-byte word (one choice).
+    pub fn word4(&mut self) -> [u8; 4] {
+        (self.below(1 << 32) as u32).to_le_bytes()
+    }
+
+    /// An arbitrary bool; choice 0 gives `false`.
+    pub fn bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+
+    /// A vector of arbitrary bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// A vector with a length drawn from `len` and elements drawn from
+    /// `gen`. The length is a single leading choice, so the shrinker can
+    /// drop elements by decreasing it.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut gen: impl FnMut(&mut Source) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| gen(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.usize_in(0..options.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_reproduces_random() {
+        let mut live = Source::from_seed(0xDEAD_BEEF);
+        let a: Vec<u64> = (0..50).map(|i| live.u64_in(0..(i + 1) * 7 + 1)).collect();
+        let mut replay = Source::from_choices(live.log());
+        let b: Vec<u64> = (0..50).map(|i| replay.u64_in(0..(i + 1) * 7 + 1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_minimum() {
+        let mut s = Source::from_choices(&[]);
+        assert_eq!(s.below(100), 0);
+        assert_eq!(s.u64_in(5..10), 5);
+        assert!(!s.bool());
+        assert_eq!(s.vec(0..4, |s| s.byte()), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn primitives_respect_ranges() {
+        let mut s = Source::from_seed(7);
+        for _ in 0..1000 {
+            let v = s.u64_in(10..20);
+            assert!((10..20).contains(&v));
+            let w = s.u16_in(1..500);
+            assert!((1..500).contains(&w));
+        }
+    }
+
+    #[test]
+    fn zero_choice_is_minimal() {
+        // The shrinker's core assumption: a zero choice maps to the range
+        // minimum for every primitive.
+        let mut s = Source::from_choices(&[0, 0, 0, 0]);
+        assert_eq!(s.u64_in(3..9), 3);
+        assert_eq!(s.u16_in(1..200), 1);
+        assert_eq!(s.byte(), 0);
+        assert!(!s.bool());
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: the workspace must build and test
+# with networking denied so a reintroduced registry dependency fails fast
+# instead of passing on a warm cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build (offline)"
+cargo build --release
+
+echo "== tier-1: tests (offline)"
+cargo test -q
+
+echo "== workspace tests (offline)"
+cargo test -q --workspace
+
+echo "== examples compile (offline)"
+cargo build --examples
+
+echo "== benches compile (offline)"
+cargo build --benches
+
+echo "verify: OK"
