@@ -178,7 +178,13 @@ impl<'a> SvmCtx<'a> {
             });
             debug_assert!(attempt < 7, "fault did not install a usable mapping");
         }
-        panic!("node {}: fault loop failed to map page {page}", self.node);
+        // Out of retries: report a structured protocol error. The request
+        // halts the run and never completes; the kernel tears this thread
+        // down during shutdown.
+        self.request(SvmReq::MapFailed {
+            page: svm_mem::PageNum(page),
+        });
+        unreachable!("MapFailed request completed on node {}", self.node);
     }
 
     /// Read `out.len()` bytes starting at `addr`.

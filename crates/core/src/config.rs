@@ -109,6 +109,82 @@ impl HomePolicy {
     }
 }
 
+/// Network fault injection + reliable delivery for one run.
+///
+/// The default is fully inactive: no fault plan is installed in the
+/// machine, the reliable-delivery sublayer stays disabled, and the run is
+/// bit-identical — output *and* virtual-time metrics — to one under a build
+/// that never had either layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Seed for the fault-decision stream.
+    pub seed: u64,
+    /// Probability a cross-node message is dropped.
+    pub drop_rate: f64,
+    /// Probability a delivered message arrives twice.
+    pub dup_rate: f64,
+    /// Probability a delivery gets extra jitter (causes reordering).
+    pub delay_rate: f64,
+    /// Upper bound on injected jitter, microseconds.
+    pub max_extra_delay_us: u64,
+    /// Probability a message triggers a transient destination-node stall.
+    pub stall_rate: f64,
+    /// Upper bound on a stall window, microseconds.
+    pub max_stall_us: u64,
+    /// Retransmission timeout, microseconds.
+    pub rto_us: u64,
+    /// Max exponent for the exponential backoff (RTO × 2^cap ceiling).
+    pub backoff_cap: u32,
+    /// Deterministically drop the first wire message whose
+    /// [`crate::msg::SvmMsg::kind_name`] equals this string (targeted
+    /// loss-of-each-message-type regression tests).
+    pub drop_first_kind: Option<&'static str>,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_extra_delay_us: 2_000,
+            stall_rate: 0.0,
+            max_stall_us: 20_000,
+            rto_us: 5_000,
+            backoff_cap: 6,
+            drop_first_kind: None,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A chaos profile: drop + duplicate at `rate`, jitter at `4 × rate`.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultProfile {
+            seed,
+            drop_rate: rate,
+            dup_rate: rate,
+            delay_rate: (4.0 * rate).min(1.0),
+            ..FaultProfile::default()
+        }
+    }
+
+    /// Whether random network faults can fire (drives the machine plan).
+    pub fn network_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.delay_rate > 0.0
+            || self.stall_rate > 0.0
+    }
+
+    /// Whether the reliable-delivery sublayer must be on (random faults or
+    /// a targeted deterministic drop).
+    pub fn is_active(&self) -> bool {
+        self.network_active() || self.drop_first_kind.is_some()
+    }
+}
+
 /// Everything a protocol run needs to know.
 #[derive(Clone, Debug)]
 pub struct SvmConfig {
@@ -124,6 +200,8 @@ pub struct SvmConfig {
     /// Garbage-collection trigger: protocol memory per node above which a
     /// barrier runs GC (homeless protocols only).
     pub gc_threshold_bytes: u64,
+    /// Network fault injection + reliable delivery (default: off).
+    pub fault: FaultProfile,
 }
 
 impl SvmConfig {
@@ -138,6 +216,7 @@ impl SvmConfig {
             // application and the protocol; TreadMarks-style systems GC
             // well before exhausting memory.
             gc_threshold_bytes: 8 << 20,
+            fault: FaultProfile::default(),
         }
     }
 

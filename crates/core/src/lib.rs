@@ -32,7 +32,9 @@ pub mod trace;
 pub mod vt;
 
 pub use api::{BarrierId, LockId, SvmCtx};
-pub use config::{HomePolicy, ProtocolKind, ProtocolName, SvmConfig};
+pub use config::{FaultProfile, HomePolicy, ProtocolKind, ProtocolName, SvmConfig};
 pub use metrics::{MemoryStats, NodeCounters, ProtocolReport};
+pub use protocol::reliable::{RetransmitEvent, Wire};
+pub use protocol::ProtocolError;
 pub use runner::{run, RunReport, Setup};
 pub use vt::VectorTime;

@@ -89,6 +89,15 @@ pub struct NodeCounters {
     pub gc_runs: u64,
     /// Pages fetched whole (cold misses and home fetches).
     pub full_page_fetches: u64,
+    /// Messages this node retransmitted (reliable-delivery layer; zero on
+    /// a fault-free network).
+    pub retransmissions: u64,
+    /// Retransmit-timer expirations serviced on this node.
+    pub retransmit_timeouts: u64,
+    /// Acknowledgments this node sent.
+    pub acks_sent: u64,
+    /// Duplicate deliveries suppressed on this node.
+    pub dup_suppressed: u64,
     /// Memory accounting.
     pub mem: MemoryStats,
 }

@@ -57,10 +57,19 @@ pub enum SvmReq {
     Unlock(LockId),
     /// Enter a barrier.
     Barrier(BarrierId),
+    /// The fault loop exhausted its retries without obtaining a usable
+    /// mapping — a protocol invariant violation, reported structurally.
+    /// The request never completes: the run halts.
+    MapFailed {
+        /// The page that would not map.
+        page: PageNum,
+    },
 }
 
-/// Protocol messages.
-#[derive(Debug)]
+/// Protocol messages. `Clone` so the reliable-delivery layer can keep
+/// unacked copies for retransmission (diffs and records are `Rc`-shared, so
+/// clones are cheap; `PageReply`/`HomeReply` data is the one real copy).
+#[derive(Clone, Debug)]
 pub enum SvmMsg {
     // ---- synchronization (always serviced by the compute processor) ----
     /// Acquire request, to the lock's manager.
@@ -202,7 +211,7 @@ pub enum SvmMsg {
 }
 
 /// One diff in a [`SvmMsg::DiffReply`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct DiffPacket {
     /// The writer (all packets in a reply share it).
     pub writer: NodeId,

@@ -321,13 +321,20 @@ impl SvmAgent {
         ctx.work(overhead, Category::Protocol);
         let idx = r.index();
         let done = {
-            let f = self.nodes_st[idx]
-                .fault
-                .as_mut()
-                .expect("fault in progress");
+            let Some(f) = self.nodes_st[idx].fault.as_mut() else {
+                self.protocol_error(
+                    ctx,
+                    crate::protocol::ProtocolError::UnexpectedDiffReply { node: r, page },
+                );
+                return;
+            };
             debug_assert_eq!(f.page, page);
             let FaultStage::AwaitDiffs { outstanding, stash } = &mut f.stage else {
-                panic!("diff reply outside diff collection")
+                self.protocol_error(
+                    ctx,
+                    crate::protocol::ProtocolError::UnexpectedDiffReply { node: r, page },
+                );
+                return;
             };
             stash.append(&mut diffs);
             *outstanding -= 1;

@@ -118,13 +118,15 @@ impl SvmAgent {
         if !task_items.is_empty() {
             let post = ctx.cost().coproc_post;
             ctx.work(post, Category::Protocol);
+            // Intra-node posts ride the shared-memory post page; they are
+            // never subject to network faults, so no sequencing envelope.
             ctx.post_local(
                 ProcKind::CoProc,
-                SvmMsg::DiffTask {
+                crate::protocol::reliable::Wire::Plain(SvmMsg::DiffTask {
                     interval,
                     vt: rec_vt,
                     items: task_items,
-                },
+                }),
             );
         }
     }

@@ -10,6 +10,7 @@ pub mod fault;
 pub mod gc;
 pub mod home;
 pub mod interval;
+pub mod reliable;
 pub mod state;
 pub mod sync;
 
@@ -23,10 +24,70 @@ use crate::metrics::NodeCounters;
 use crate::msg::{SvmMsg, SvmReq};
 use crate::vt::VectorTime;
 
+use reliable::ReliableNet;
 use state::{DirEntry, ProtoNode};
 
 /// Handler context alias.
 pub type MCtx<'a> = Ctx<'a, SvmAgent>;
+
+/// A protocol invariant violation, reported structurally instead of
+/// panicking: the run halts and the error rides out through
+/// `RunOutcome::errors` / `RunReport::errors`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A node acquired a lock it already holds (no recursive locks).
+    RecursiveLockAcquire {
+        /// The offending node.
+        node: NodeId,
+        /// The lock id.
+        lock: u32,
+    },
+    /// The application's fault loop could not obtain a usable mapping.
+    MappingFailed {
+        /// The faulting node.
+        node: NodeId,
+        /// The page that would not map.
+        page: PageNum,
+    },
+    /// A diff reply arrived on a node with no diff collection in progress.
+    UnexpectedDiffReply {
+        /// The receiving node.
+        node: NodeId,
+        /// The page of the stray reply.
+        page: PageNum,
+    },
+}
+
+impl ProtocolError {
+    /// The node the error was detected on.
+    pub fn node(&self) -> NodeId {
+        match self {
+            ProtocolError::RecursiveLockAcquire { node, .. }
+            | ProtocolError::MappingFailed { node, .. }
+            | ProtocolError::UnexpectedDiffReply { node, .. } => *node,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::RecursiveLockAcquire { node, lock } => {
+                write!(f, "node {node:?} acquired lock {lock} recursively")
+            }
+            ProtocolError::MappingFailed { node, page } => {
+                write!(f, "node {node:?}: fault loop failed to map page {}", page.0)
+            }
+            ProtocolError::UnexpectedDiffReply { node, page } => {
+                write!(
+                    f,
+                    "node {node:?}: diff reply for page {} outside diff collection",
+                    page.0
+                )
+            }
+        }
+    }
+}
 
 /// Barrier bookkeeping at the (centralized) manager, node 0.
 pub struct BarrierState {
@@ -88,6 +149,10 @@ pub struct SvmAgent {
     pub caches: Vec<HandoffCell<NodeCache>>,
     /// The initialized data image (for lazy first-touch materialization).
     pub golden: Vec<u8>,
+    /// Reliable-delivery state (inactive on a fault-free run).
+    pub net: ReliableNet,
+    /// Structured protocol errors detected this run.
+    pub errors: Vec<ProtocolError>,
 }
 
 impl SvmAgent {
@@ -142,6 +207,8 @@ impl SvmAgent {
             barrier_marks: vec![Vec::new(); nodes],
             barrier: BarrierState::new(nodes),
             lock_mgr: std::collections::HashMap::new(),
+            net: ReliableNet::new(&cfg.fault),
+            errors: Vec::new(),
             nodes_st,
             dir,
             caches,
@@ -150,6 +217,12 @@ impl SvmAgent {
             num_pages,
             golden,
         }
+    }
+
+    /// Record a structured protocol error and halt the run.
+    pub fn protocol_error(&mut self, ctx: &mut MCtx<'_>, err: ProtocolError) {
+        ctx.fail(err.node(), err.to_string());
+        self.errors.push(err);
     }
 
     /// Whether this run is homeless (LRC/OLRC).
@@ -203,7 +276,7 @@ impl SvmAgent {
             let from = ctx.here();
             self.dispatch(ctx, to, from, msg);
         } else {
-            ctx.send(to, msg);
+            self.net_send(ctx, to, msg);
         }
     }
 
@@ -320,6 +393,32 @@ impl SvmAgent {
     }
 }
 
+impl Agent for SvmAgent {
+    type Msg = reliable::Wire;
+    type Req = SvmReq;
+    type Resp = ();
+
+    fn on_message(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: reliable::Wire) {
+        self.on_wire(ctx, at, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, token: u64) {
+        self.on_net_timer(ctx, at, token);
+    }
+
+    fn on_request(&mut self, ctx: &mut MCtx<'_>, node: NodeId, req: SvmReq) {
+        match req {
+            SvmReq::Fault { page, write } => self.on_fault(ctx, node, page, write),
+            SvmReq::Lock(l) => self.on_lock(ctx, node, l),
+            SvmReq::Unlock(l) => self.on_unlock(ctx, node, l),
+            SvmReq::Barrier(b) => self.on_barrier(ctx, node, b),
+            SvmReq::MapFailed { page } => {
+                self.protocol_error(ctx, ProtocolError::MappingFailed { node, page })
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,24 +491,5 @@ mod tests {
         assert!(agent.nodes_st[1].pages[0].buf.is_some());
         assert!(agent.nodes_st[0].pages[0].buf.is_none());
         assert!(agent.nodes_st[0].pages[1].buf.is_some());
-    }
-}
-
-impl Agent for SvmAgent {
-    type Msg = SvmMsg;
-    type Req = SvmReq;
-    type Resp = ();
-
-    fn on_message(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: SvmMsg) {
-        self.dispatch(ctx, at, from, msg);
-    }
-
-    fn on_request(&mut self, ctx: &mut MCtx<'_>, node: NodeId, req: SvmReq) {
-        match req {
-            SvmReq::Fault { page, write } => self.on_fault(ctx, node, page, write),
-            SvmReq::Lock(l) => self.on_lock(ctx, node, l),
-            SvmReq::Unlock(l) => self.on_unlock(ctx, node, l),
-            SvmReq::Barrier(b) => self.on_barrier(ctx, node, b),
-        }
     }
 }

@@ -1,0 +1,337 @@
+//! Reliable delivery under the protocol messages.
+//!
+//! The four protocols were written for the paper's perfectly reliable FIFO
+//! transport; the fault-injection layer (`svm-machine::netfault`) breaks
+//! that assumption. This sublayer restores it end-to-end: every cross-node
+//! protocol message travels in a [`Wire::Data`] envelope with a
+//! per-channel sequence number, receivers acknowledge cumulatively and
+//! suppress duplicates, and senders retransmit everything unacknowledged on
+//! a timeout with exponential backoff (reset on progress). A *channel* is
+//! an ordered pair of processor addresses, so cpu and co-processor streams
+//! sequence independently — matching the independent service queues they
+//! feed.
+//!
+//! When the run's [`crate::FaultProfile`] is inactive the layer is off:
+//! messages travel as [`Wire::Plain`] with the same wire size and traffic
+//! class as the bare message and no extra events, keeping zero-fault runs
+//! bit-identical to a build without the layer.
+//!
+//! Acks are not themselves sequenced or retransmitted — a lost ack is
+//! recovered by the sender's retransmission, which the receiver answers
+//! with a fresh cumulative ack.
+
+use std::collections::{BTreeMap, HashMap};
+
+use svm_machine::{Category, Message, ProcAddr, TrafficClass};
+use svm_sim::{EventId, SimDuration};
+
+use crate::config::FaultProfile;
+use crate::msg::SvmMsg;
+use crate::protocol::{MCtx, SvmAgent};
+
+/// The on-wire envelope around protocol messages.
+#[derive(Clone, Debug)]
+pub enum Wire {
+    /// Reliable layer off: the bare message, byte-for-byte what the
+    /// pre-fault-layer build sent.
+    Plain(SvmMsg),
+    /// A sequenced message on its channel.
+    Data {
+        /// Channel sequence number (1-based).
+        seq: u32,
+        /// The protocol message.
+        msg: SvmMsg,
+    },
+    /// Cumulative acknowledgment: every `seq <= cum` arrived.
+    Ack {
+        /// Highest in-order sequence delivered.
+        cum: u32,
+    },
+}
+
+impl Message for Wire {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            Wire::Plain(m) => m.wire_bytes(),
+            // Sequence number + envelope framing.
+            Wire::Data { msg, .. } => msg.wire_bytes() + 8,
+            Wire::Ack { .. } => 12,
+        }
+    }
+
+    fn class(&self) -> TrafficClass {
+        match self {
+            Wire::Plain(m) | Wire::Data { msg: m, .. } => m.class(),
+            Wire::Ack { .. } => TrafficClass::Protocol,
+        }
+    }
+}
+
+/// One retransmission, for the bit-reproducible chaos trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetransmitEvent {
+    /// Virtual time of the retransmission, nanoseconds.
+    pub at_ns: u64,
+    /// Sending processor.
+    pub from: ProcAddr,
+    /// Destination processor.
+    pub to: ProcAddr,
+    /// The resent sequence number.
+    pub seq: u32,
+    /// Backoff exponent in force when the timeout fired (1 = first retry).
+    pub attempt: u32,
+}
+
+struct SendChannel {
+    to: ProcAddr,
+    next_seq: u32,
+    unacked: BTreeMap<u32, SvmMsg>,
+    timer: Option<EventId>,
+    /// Timer generation: a queued timer token with a stale generation is
+    /// ignored, which makes cancel-vs-already-queued races harmless.
+    gen: u32,
+    backoff: u32,
+}
+
+struct RecvChannel {
+    next_expected: u32,
+    buffered: BTreeMap<u32, SvmMsg>,
+}
+
+impl Default for RecvChannel {
+    fn default() -> Self {
+        RecvChannel {
+            next_expected: 1,
+            buffered: BTreeMap::new(),
+        }
+    }
+}
+
+/// Reliable-delivery state for one run.
+pub struct ReliableNet {
+    /// Whether the layer is on (any fault source configured).
+    pub enabled: bool,
+    rto: SimDuration,
+    backoff_cap: u32,
+    /// One-shot deterministic drop of the first message of a given kind.
+    drop_first: Option<&'static str>,
+    /// Send channels, indexed densely so timer tokens can address them.
+    chans: Vec<SendChannel>,
+    index: HashMap<(ProcAddr, ProcAddr), usize>,
+    recv: HashMap<(ProcAddr, ProcAddr), RecvChannel>,
+    /// Every retransmission, in event order.
+    pub trace: Vec<RetransmitEvent>,
+}
+
+impl ReliableNet {
+    /// Build from the run's fault profile.
+    pub fn new(profile: &FaultProfile) -> Self {
+        ReliableNet {
+            enabled: profile.is_active(),
+            rto: SimDuration::from_micros(profile.rto_us),
+            backoff_cap: profile.backoff_cap,
+            drop_first: profile.drop_first_kind,
+            chans: Vec::new(),
+            index: HashMap::new(),
+            recv: HashMap::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    fn channel(&mut self, from: ProcAddr, to: ProcAddr) -> usize {
+        *self.index.entry((from, to)).or_insert_with(|| {
+            self.chans.push(SendChannel {
+                to,
+                next_seq: 1,
+                unacked: BTreeMap::new(),
+                timer: None,
+                gen: 0,
+                backoff: 0,
+            });
+            self.chans.len() - 1
+        })
+    }
+
+    fn timeout(&self, backoff: u32) -> SimDuration {
+        self.rto * (1u64 << backoff.min(self.backoff_cap))
+    }
+}
+
+impl SvmAgent {
+    /// Send a protocol message to a remote processor through the reliable
+    /// layer (or as a bare [`Wire::Plain`] when the layer is off).
+    pub fn net_send(&mut self, ctx: &mut MCtx<'_>, to: ProcAddr, msg: SvmMsg) {
+        if !self.net.enabled {
+            ctx.send(to, Wire::Plain(msg));
+            return;
+        }
+        let from = ctx.here();
+        let suppressed = match self.net.drop_first {
+            Some(kind) if msg.kind_name() == kind => {
+                self.net.drop_first = None;
+                true
+            }
+            _ => false,
+        };
+        let idx = self.net.channel(from, to);
+        let ch = &mut self.net.chans[idx];
+        let seq = ch.next_seq;
+        ch.next_seq += 1;
+        if !suppressed {
+            ctx.send(to, Wire::Data {
+                seq,
+                msg: msg.clone(),
+            });
+        }
+        ch.unacked.insert(seq, msg);
+        if ch.timer.is_none() {
+            self.net_arm(ctx, idx);
+        }
+    }
+
+    /// (Re)arm channel `idx`'s retransmit timer at its current backoff.
+    fn net_arm(&mut self, ctx: &mut MCtx<'_>, idx: usize) {
+        let delay = self.net.timeout(self.net.chans[idx].backoff);
+        let ch = &mut self.net.chans[idx];
+        ch.gen = ch.gen.wrapping_add(1);
+        let token = idx as u64 | ((ch.gen as u64) << 32);
+        ch.timer = Some(ctx.set_timer(delay, token));
+    }
+
+    /// Unwrap an incoming envelope: dispatch plain messages directly, run
+    /// sequenced data through duplicate suppression + in-order release, and
+    /// consume acks.
+    pub fn on_wire(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, wire: Wire) {
+        match wire {
+            Wire::Plain(msg) => self.dispatch(ctx, at, from, msg),
+            Wire::Data { seq, msg } => {
+                let node = at.node;
+                let rc = self.net.recv.entry((from, at)).or_default();
+                let dup = seq < rc.next_expected || rc.buffered.contains_key(&seq);
+                let mut ready = Vec::new();
+                if dup {
+                    self.counters[node.index()].dup_suppressed += 1;
+                } else {
+                    rc.buffered.insert(seq, msg);
+                    while let Some(m) = rc.buffered.remove(&rc.next_expected) {
+                        ready.push(m);
+                        rc.next_expected += 1;
+                    }
+                }
+                let cum = self.net.recv[&(from, at)].next_expected - 1;
+                self.counters[node.index()].acks_sent += 1;
+                ctx.send(from, Wire::Ack { cum });
+                for m in ready {
+                    self.dispatch(ctx, at, from, m);
+                }
+            }
+            Wire::Ack { cum } => {
+                let Some(&idx) = self.net.index.get(&(at, from)) else {
+                    return;
+                };
+                let ch = &mut self.net.chans[idx];
+                let before = ch.unacked.len();
+                ch.unacked = ch.unacked.split_off(&(cum + 1));
+                let progress = ch.unacked.len() < before;
+                if progress {
+                    ch.backoff = 0;
+                }
+                if ch.unacked.is_empty() {
+                    if let Some(ev) = ch.timer.take() {
+                        ctx.cancel_timer(ev);
+                    }
+                    // Invalidate any timer work already queued for service.
+                    ch.gen = ch.gen.wrapping_add(1);
+                } else if progress {
+                    if let Some(ev) = ch.timer.take() {
+                        ctx.cancel_timer(ev);
+                    }
+                    self.net_arm(ctx, idx);
+                }
+            }
+        }
+    }
+
+    /// A retransmit timer reached service: resend everything unacked on its
+    /// channel, double the backoff, rearm.
+    pub fn on_net_timer(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, token: u64) {
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        if idx >= self.net.chans.len() || self.net.chans[idx].gen != gen {
+            return; // stale: cancelled or superseded after queueing
+        }
+        let node = at.node;
+        let overhead = ctx.cost().handler_overhead;
+        let (to, resend, attempt) = {
+            let ch = &self.net.chans[idx];
+            if ch.unacked.is_empty() {
+                return;
+            }
+            let resend: Vec<(u32, SvmMsg)> =
+                ch.unacked.iter().map(|(s, m)| (*s, m.clone())).collect();
+            (ch.to, resend, ch.backoff + 1)
+        };
+        self.counters[node.index()].retransmit_timeouts += 1;
+        for (seq, msg) in resend {
+            ctx.work(overhead, Category::Retransmit);
+            self.net.trace.push(RetransmitEvent {
+                at_ns: ctx.now().as_nanos(),
+                from: at,
+                to,
+                seq,
+                attempt,
+            });
+            self.counters[node.index()].retransmissions += 1;
+            ctx.send(to, Wire::Data { seq, msg });
+        }
+        let ch = &mut self.net.chans[idx];
+        ch.backoff = (ch.backoff + 1).min(self.net.backoff_cap);
+        self.net_arm(ctx, idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm_mem::PageNum;
+
+    #[test]
+    fn plain_envelope_is_transparent() {
+        let inner = SvmMsg::PageRequest {
+            page: PageNum(0),
+            requester: svm_machine::NodeId(1),
+        };
+        let bytes = inner.wire_bytes();
+        let class = inner.class();
+        let wire = Wire::Plain(inner);
+        assert_eq!(wire.wire_bytes(), bytes);
+        assert_eq!(wire.class(), class);
+    }
+
+    #[test]
+    fn data_envelope_charges_header() {
+        let inner = SvmMsg::PageRequest {
+            page: PageNum(0),
+            requester: svm_machine::NodeId(1),
+        };
+        let bytes = inner.wire_bytes();
+        let wire = Wire::Data { seq: 7, msg: inner };
+        assert_eq!(wire.wire_bytes(), bytes + 8);
+        assert_eq!(Wire::Ack { cum: 3 }.wire_bytes(), 12);
+        assert_eq!(Wire::Ack { cum: 3 }.class(), TrafficClass::Protocol);
+    }
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let profile = FaultProfile {
+            rto_us: 1_000,
+            backoff_cap: 3,
+            ..FaultProfile::default()
+        };
+        let net = ReliableNet::new(&profile);
+        assert_eq!(net.timeout(0), SimDuration::from_micros(1_000));
+        assert_eq!(net.timeout(1), SimDuration::from_micros(2_000));
+        assert_eq!(net.timeout(3), SimDuration::from_micros(8_000));
+        assert_eq!(net.timeout(9), SimDuration::from_micros(8_000), "capped");
+    }
+}

@@ -33,7 +33,12 @@ impl SvmAgent {
         // Make sure the token starts somewhere: at the manager, lock free.
         self.ensure_lock(l);
         match self.nodes_st[idx].lock(l.0).token {
-            TokenState::InCs => panic!("node {n:?} acquired lock {} recursively", l.0),
+            TokenState::InCs => {
+                self.protocol_error(
+                    ctx,
+                    crate::protocol::ProtocolError::RecursiveLockAcquire { node: n, lock: l.0 },
+                );
+            }
             TokenState::HeldFree => {
                 // "All lock acquire requests are sent to the manager unless
                 // the node itself holds the lock" — local re-acquire, free.

@@ -10,7 +10,8 @@ use svm_sim::HandoffCell;
 use crate::api::{AppPort, NodeCache, Scalar, SharedArr, SvmCtx};
 use crate::config::{ProtocolName, SvmConfig};
 use crate::metrics::ProtocolReport;
-use crate::protocol::SvmAgent;
+use crate::protocol::reliable::RetransmitEvent;
+use crate::protocol::{ProtocolError, SvmAgent};
 
 /// The initialization-phase handle: `G_MALLOC` plus golden-image writes and
 /// home-placement hints. Runs once, "on node 0, before spawning the
@@ -135,6 +136,11 @@ pub struct RunReport {
     pub app_bytes: u64,
     /// Pages in the shared address space.
     pub num_pages: u32,
+    /// Structured protocol errors (empty on a clean run).
+    pub errors: Vec<ProtocolError>,
+    /// Every retransmission the reliable-delivery layer performed, in
+    /// event order — bit-identical across runs with the same fault seed.
+    pub retransmit_trace: Vec<RetransmitEvent>,
 }
 
 impl RunReport {
@@ -218,15 +224,29 @@ where
         })
         .collect();
 
-    let (outcome, agent) = World::new(config.cost.clone(), agent, bodies).run();
+    let mut world = World::new(config.cost.clone(), agent, bodies);
+    world.machine.set_faults(svm_machine::NetFaultConfig {
+        seed: config.fault.seed,
+        drop_rate: config.fault.drop_rate,
+        dup_rate: config.fault.dup_rate,
+        delay_rate: config.fault.delay_rate,
+        max_extra_delay: svm_sim::SimDuration::from_micros(config.fault.max_extra_delay_us),
+        stall_rate: config.fault.stall_rate,
+        max_stall: svm_sim::SimDuration::from_micros(config.fault.max_stall_us),
+        only_link: None,
+    });
+    let (outcome, mut agent) = world.run();
 
     // Sanity: the protocols must leave no dangling fault state. (Open
-    // intervals at exit are fine: nothing synchronizes after the end.)
-    for (i, n) in agent.nodes_st.iter().enumerate() {
-        assert!(
-            n.fault.is_none(),
-            "node {i} finished with an outstanding fault"
-        );
+    // intervals at exit are fine: nothing synchronizes after the end.) A
+    // halted run is exempt — it stopped mid-flight by design.
+    if outcome.is_clean() {
+        for (i, n) in agent.nodes_st.iter().enumerate() {
+            assert!(
+                n.fault.is_none(),
+                "node {i} finished with an outstanding fault"
+            );
+        }
     }
 
     RunReport {
@@ -239,6 +259,8 @@ where
         },
         app_bytes: heap.allocated_bytes(),
         num_pages,
+        errors: std::mem::take(&mut agent.errors),
+        retransmit_trace: std::mem::take(&mut agent.net.trace),
     }
 }
 

@@ -28,18 +28,22 @@ pub enum Category {
     Protocol,
     /// Garbage collection of protocol data (homeless protocols only).
     Gc,
+    /// Reliable-delivery overhead: retransmitting lost messages and
+    /// servicing retransmit timers (zero on a fault-free network).
+    Retransmit,
     /// Nothing to do (before start / after finish).
     Idle,
 }
 
 /// All categories, in reporting order.
-pub const CATEGORIES: [Category; 7] = [
+pub const CATEGORIES: [Category; 8] = [
     Category::Compute,
     Category::DataTransfer,
     Category::Lock,
     Category::Barrier,
     Category::Protocol,
     Category::Gc,
+    Category::Retransmit,
     Category::Idle,
 ];
 
@@ -52,7 +56,8 @@ impl Category {
             Category::Barrier => 3,
             Category::Protocol => 4,
             Category::Gc => 5,
-            Category::Idle => 6,
+            Category::Retransmit => 6,
+            Category::Idle => 7,
         }
     }
 
@@ -65,6 +70,7 @@ impl Category {
             Category::Barrier => "barrier",
             Category::Protocol => "proto",
             Category::Gc => "gc",
+            Category::Retransmit => "retx",
             Category::Idle => "idle",
         }
     }
@@ -79,7 +85,7 @@ impl fmt::Display for Category {
 /// Time per category.
 #[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct Breakdown {
-    slots: [SimDuration; 7],
+    slots: [SimDuration; 8],
 }
 
 impl Breakdown {
@@ -234,6 +240,6 @@ mod tests {
     #[test]
     fn iter_covers_all_categories() {
         let b = Breakdown::default();
-        assert_eq!(b.iter().count(), 7);
+        assert_eq!(b.iter().count(), 8);
     }
 }

@@ -33,11 +33,13 @@
 pub mod accounting;
 pub mod cost;
 pub mod machine;
+pub mod netfault;
 pub mod traffic;
 pub mod types;
 
 pub use accounting::{Breakdown, Category};
 pub use cost::CostModel;
-pub use machine::{Agent, AppRequest, AppResponse, Ctx, Machine, RunOutcome, World};
+pub use machine::{Agent, AppRequest, AppResponse, Ctx, Machine, RunError, RunOutcome, World};
+pub use netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
 pub use traffic::{Message, TrafficClass, TrafficStats};
 pub use types::{NodeId, ProcAddr, ProcKind};

@@ -15,6 +15,7 @@ use svm_sim::{EventId, Scheduler, SimDuration, SimTime};
 
 use crate::accounting::{Breakdown, Category, NodeClock};
 use crate::cost::CostModel;
+use crate::netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
 use crate::traffic::{Message, TrafficStats};
 use crate::types::{NodeId, ProcAddr, ProcKind};
 
@@ -41,8 +42,9 @@ pub enum AppResponse<R> {
 /// applications; all of it takes effect at the handler's *effective* time
 /// (service start plus work charged so far).
 pub trait Agent: Sized + 'static {
-    /// The protocol's message type.
-    type Msg: Message;
+    /// The protocol's message type. `Clone` so the fault layer can
+    /// duplicate deliveries and a reliability layer can retransmit.
+    type Msg: Message + Clone;
     /// Custom application-request payload (faults, locks, barriers…).
     type Req: Send + 'static;
     /// Custom application-response payload.
@@ -50,6 +52,12 @@ pub trait Agent: Sized + 'static {
 
     /// A message has reached the head of `at`'s service queue.
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self>, at: ProcAddr, from: ProcAddr, msg: Self::Msg);
+
+    /// A timer armed via [`Ctx::set_timer`] fired and reached the head of
+    /// `at`'s service queue. Timers are serviced like messages (same
+    /// interrupt/dispatch pricing); agents that never arm timers can ignore
+    /// this.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self>, _at: ProcAddr, _token: u64) {}
 
     /// The application on `node` issued a custom request.
     ///
@@ -97,9 +105,16 @@ struct Service {
     segments: VecDeque<(SimDuration, Category)>,
 }
 
+/// One unit of pending processor service: a delivered message or an expired
+/// timer, both serviced in arrival order.
+enum Work<M> {
+    Msg { from: ProcAddr, msg: M },
+    Timer { token: u64 },
+}
+
 struct ProcUnit<M> {
     service: Option<Service>,
-    queue: VecDeque<(ProcAddr, M)>,
+    queue: VecDeque<Work<M>>,
 }
 
 impl<M> ProcUnit<M> {
@@ -130,6 +145,28 @@ pub struct Machine<A: Agent> {
     traffic: TrafficStats,
     finish: Vec<Option<SimTime>>,
     coproc_busy: Vec<SimDuration>,
+    fault: Option<FaultPlan>,
+    errors: Vec<RunError>,
+    halted: bool,
+}
+
+/// A structured failure reported by the protocol instead of a panic. The
+/// run halts at the point of failure and the errors ride out through
+/// [`RunOutcome::errors`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunError {
+    /// Node the failure was detected on.
+    pub node: NodeId,
+    /// Virtual time of the failure.
+    pub at: SimTime,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} at {}: {}", self.node.index(), self.at, self.what)
+    }
 }
 
 /// Result of a completed run.
@@ -147,6 +184,18 @@ pub struct RunOutcome {
     pub coproc_busy: Vec<SimDuration>,
     /// Scheduler events executed (diagnostics).
     pub events_executed: u64,
+    /// What the fault-injection layer did (all-zero when no plan was set).
+    pub net_faults: NetFaultStats,
+    /// Structured protocol failures; empty on a clean run. When nonempty,
+    /// the timing fields describe the truncated run up to the halt.
+    pub errors: Vec<RunError>,
+}
+
+impl RunOutcome {
+    /// Whether the run completed without protocol errors.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
 }
 
 impl<A: Agent> Machine<A> {
@@ -171,6 +220,20 @@ impl<A: Agent> Machine<A> {
             traffic: TrafficStats::new(n),
             finish: vec![None; n],
             coproc_busy: vec![SimDuration::ZERO; n],
+            fault: None,
+            errors: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Install a fault-injection plan for this run. An inactive
+    /// configuration (all rates zero) installs nothing, keeping the
+    /// fault-free send path — and therefore all timing — bit-identical to a
+    /// machine that never heard of faults.
+    pub fn set_faults(&mut self, cfg: NetFaultConfig) {
+        if cfg.is_active() {
+            let nodes = self.nodes.len();
+            self.fault = Some(FaultPlan::new(cfg, nodes));
         }
     }
 
@@ -238,49 +301,62 @@ impl<A: Agent> World<A> {
                 .next_yield();
             self.handle_yield(&mut sched, NodeId(i as u16), y);
         }
-        sched.run(&mut self);
+        // Run until the queue drains — or until a structured protocol
+        // failure halts the machine, truncating the run at that instant.
+        while !self.machine.halted && sched.step(&mut self) {}
 
-        let mut stuck = Vec::new();
-        for (i, n) in self.machine.nodes.iter().enumerate() {
-            if !matches!(n.app, AppState::Finished) {
-                let state = match &n.app {
-                    AppState::Blocked(c) => format!("blocked on {c}"),
-                    AppState::Computing { .. } => "computing".into(),
-                    AppState::ComputePaused { .. } => "compute-paused".into(),
-                    AppState::PendingRequest(_) => "request pending".into(),
-                    AppState::Ready => "ready".into(),
-                    AppState::Finished => unreachable!(),
-                };
-                stuck.push(format!("node {i}: {state}"));
+        if self.machine.errors.is_empty() {
+            let mut stuck = Vec::new();
+            for (i, n) in self.machine.nodes.iter().enumerate() {
+                if !matches!(n.app, AppState::Finished) {
+                    let state = match &n.app {
+                        AppState::Blocked(c) => format!("blocked on {c}"),
+                        AppState::Computing { .. } => "computing".into(),
+                        AppState::ComputePaused { .. } => "compute-paused".into(),
+                        AppState::PendingRequest(_) => "request pending".into(),
+                        AppState::Ready => "ready".into(),
+                        AppState::Finished => unreachable!(),
+                    };
+                    stuck.push(format!("node {i}: {state}"));
+                }
             }
+            assert!(
+                stuck.is_empty(),
+                "simulation deadlock: event queue empty with live applications:\n  {}",
+                stuck.join("\n  ")
+            );
         }
-        assert!(
-            stuck.is_empty(),
-            "simulation deadlock: event queue empty with live applications:\n  {}",
-            stuck.join("\n  ")
-        );
 
         // Trailing protocol service (e.g., a node serving a fetch after its
         // own program ended) can outlast the last application finish; the
-        // run ends when the event queue drains.
+        // run ends when the event queue drains. On a halted run, nodes that
+        // never finished are pinned at the halt time.
+        let now = sched.now();
         let total_time = self
             .machine
             .finish
             .iter()
-            .map(|t| t.expect("all nodes finished"))
+            .map(|t| t.unwrap_or(now))
             .max()
             .expect("at least one node")
-            .max(sched.now());
+            .max(now);
         let breakdowns = (0..self.machine.nodes.len())
             .map(|i| self.machine.clocks[i].snapshot(total_time))
             .collect();
         let outcome = RunOutcome {
             total_time,
             breakdowns,
-            finish_times: self.machine.finish.iter().map(|t| t.unwrap()).collect(),
+            finish_times: self.machine.finish.iter().map(|t| t.unwrap_or(now)).collect(),
             traffic: self.machine.traffic.clone(),
             coproc_busy: self.machine.coproc_busy.clone(),
             events_executed: sched.executed(),
+            net_faults: self
+                .machine
+                .fault
+                .as_ref()
+                .map(|p| p.stats().clone())
+                .unwrap_or_default(),
+            errors: std::mem::take(&mut self.machine.errors),
         };
         (outcome, self.agent)
     }
@@ -321,7 +397,7 @@ impl<A: Agent> World<A> {
                 self.machine.refresh(i, now);
             }
             Yielded::Finished(Err(msg)) => {
-                panic!("application on node {node:?} panicked: {msg}");
+                panic!("application on node {} panicked at {now}: {msg}", i);
             }
             Yielded::Request(AppRequest::Compute(d)) => {
                 if self.machine.nodes[i].cpu.service.is_some() {
@@ -391,11 +467,23 @@ impl<A: Agent> World<A> {
         msg: A::Msg,
     ) {
         let i = to.node.index();
+        let work = Work::Msg { from, msg };
         match to.kind {
-            ProcKind::Cpu => self.machine.nodes[i].cpu.queue.push_back((from, msg)),
-            ProcKind::CoProc => self.machine.nodes[i].coproc.queue.push_back((from, msg)),
+            ProcKind::Cpu => self.machine.nodes[i].cpu.queue.push_back(work),
+            ProcKind::CoProc => self.machine.nodes[i].coproc.queue.push_back(work),
         }
         self.try_dispatch(sched, to);
+    }
+
+    /// A timer armed via [`Ctx::set_timer`] expired; queue its service.
+    fn timer_fired(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr, token: u64) {
+        let i = at.node.index();
+        let work = Work::Timer { token };
+        match at.kind {
+            ProcKind::Cpu => self.machine.nodes[i].cpu.queue.push_back(work),
+            ProcKind::CoProc => self.machine.nodes[i].coproc.queue.push_back(work),
+        }
+        self.try_dispatch(sched, at);
     }
 
     /// If `at` is free and has queued messages, service the next one.
@@ -413,7 +501,7 @@ impl<A: Agent> World<A> {
             ProcKind::Cpu => self.machine.nodes[i].cpu.queue.pop_front(),
             ProcKind::CoProc => self.machine.nodes[i].coproc.queue.pop_front(),
         };
-        let Some((from, msg)) = next else { return };
+        let Some(work) = next else { return };
 
         // Preempt application compute for interrupt-driven cpu service. The
         // full receive-interrupt cost is paid only when this dispatch
@@ -448,7 +536,10 @@ impl<A: Agent> World<A> {
         let World { machine, agent } = self;
         let mut ctx = Ctx::new(sched, machine, at);
         ctx.work(prelude, Category::Protocol);
-        agent.on_message(&mut ctx, at, from, msg);
+        match work {
+            Work::Msg { from, msg } => agent.on_message(&mut ctx, at, from, msg),
+            Work::Timer { token } => agent.on_timer(&mut ctx, at, token),
+        }
         let segments = ctx.take_segments();
         self.begin_service(sched, at, segments);
     }
@@ -602,6 +693,10 @@ impl<'a, A: Agent> Ctx<'a, A> {
 
     /// Send `msg` to a (usually remote) processor; it departs at the cursor
     /// and arrives after the network transit for its size.
+    ///
+    /// When a fault plan is installed the plan decides the message's fate
+    /// (drop, duplicate, jitter, stall-delayed); without one the path below
+    /// is exactly the pre-fault-layer code — one delivery, on time.
     pub fn send(&mut self, to: ProcAddr, msg: A::Msg) {
         let from = self.at;
         assert_ne!(from.node, to.node, "use post_local for intra-node messages");
@@ -609,8 +704,57 @@ impl<'a, A: Agent> Ctx<'a, A> {
         self.machine.traffic.record(from.node, msg.class(), bytes);
         let transit = self.machine.cost.transit(bytes);
         let at = self.now() + transit;
-        self.sched
-            .at(at, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+        match &mut self.machine.fault {
+            None => {
+                self.sched
+                    .at(at, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+            }
+            Some(plan) => {
+                let arrivals = plan.route(from.node, to.node, at);
+                for t in arrivals {
+                    let m = msg.clone();
+                    self.sched
+                        .at(t, move |s, w: &mut World<A>| w.deliver(s, to, from, m));
+                }
+            }
+        }
+    }
+
+    /// Arm a timer on `here()` that fires `delay` after the cursor,
+    /// delivering `token` to [`Agent::on_timer`] through the processor's
+    /// service queue. Returns the event for [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> EventId {
+        let at_addr = self.at;
+        let when = self.now() + delay;
+        self.sched.at(when, move |s, w: &mut World<A>| {
+            w.timer_fired(s, at_addr, token)
+        })
+    }
+
+    /// Cancel a pending timer; returns `false` if it already fired.
+    pub fn cancel_timer(&mut self, id: EventId) -> bool {
+        self.sched.cancel(id)
+    }
+
+    /// Fault-injection counters so far (all-zero when no plan is active).
+    pub fn net_fault_stats(&self) -> NetFaultStats {
+        self.machine
+            .fault
+            .as_ref()
+            .map(|p| p.stats().clone())
+            .unwrap_or_default()
+    }
+
+    /// Report a structured protocol failure and halt the run. The machine
+    /// stops executing events after the current handler returns; the error
+    /// rides out through [`RunOutcome::errors`] instead of a panic.
+    pub fn fail(&mut self, node: NodeId, what: impl Into<String>) {
+        self.machine.errors.push(RunError {
+            node,
+            at: self.now(),
+            what: what.into(),
+        });
+        self.machine.halted = true;
     }
 
     /// Post `msg` to the other processor of this node through shared memory

@@ -12,7 +12,7 @@ use svm_machine::{
 use svm_sim::process::ProcessPort;
 use svm_sim::SimDuration;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum Msg {
     Ping {
         requester: NodeId,

@@ -15,7 +15,31 @@
 
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Once;
 use std::thread::JoinHandle;
+
+/// Panic payload used to unwind a process body when the kernel has shut
+/// down while the process was parked in [`ProcessPort::request`]. This is
+/// the *expected* teardown path for a halted simulation (e.g., a run ended
+/// early by a protocol error), so the global panic hook is taught to stay
+/// silent for it — no stderr message, no backtrace.
+struct KernelShutdown;
+
+/// Install (once, process-wide) a panic hook that suppresses output for
+/// [`KernelShutdown`] unwinds and delegates everything else to the
+/// previously installed hook.
+fn install_quiet_shutdown_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KernelShutdown>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
 
 /// What a process produced when control returned to the kernel.
 #[derive(Debug)]
@@ -38,12 +62,17 @@ impl<Req, Resp> ProcessPort<Req, Resp> {
     /// # Panics
     ///
     /// Panics if the kernel has shut down (its [`SimProcess`] was dropped);
-    /// the panic unwinds the process body so the thread exits cleanly.
+    /// the panic unwinds the process body so the thread exits cleanly. The
+    /// payload is a private marker the panic hook recognizes, so this
+    /// expected teardown produces no stderr noise.
     pub fn request(&self, req: Req) -> Resp {
-        self.req_tx
-            .send(Yielded::Request(req))
-            .expect("simulation kernel shut down");
-        self.resume_rx.recv().expect("simulation kernel shut down")
+        if self.req_tx.send(Yielded::Request(req)).is_err() {
+            panic::panic_any(KernelShutdown);
+        }
+        match self.resume_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => panic::panic_any(KernelShutdown),
+        }
     }
 }
 
@@ -70,6 +99,7 @@ where
     Resp: Send + 'static,
     F: FnOnce(&ProcessPort<Req, Resp>) + Send + 'static,
 {
+    install_quiet_shutdown_hook();
     let (req_tx, req_rx) = channel::<Yielded<Req>>();
     let (resume_tx, resume_rx) = channel::<Resp>();
     let port = ProcessPort {
@@ -106,6 +136,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if payload.downcast_ref::<KernelShutdown>().is_some() {
+        "unwound by kernel shutdown".to_string()
     } else {
         "process panicked (non-string payload)".to_string()
     }

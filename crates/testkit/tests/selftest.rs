@@ -17,7 +17,9 @@ fn cfg(seed: u64, cases: u32) -> Config {
 
 /// The generator shape the protocol suite uses: variable-length nested
 /// collections with mixed variants.
-fn gen_program(src: &mut Source) -> Vec<Vec<(bool, u64)>> {
+type Program = Vec<Vec<(bool, u64)>>;
+
+fn gen_program(src: &mut Source) -> Program {
     src.vec(1..6, |s| s.vec(0..20, |s| (s.bool(), s.u64_in(0..1000))))
 }
 
@@ -53,7 +55,7 @@ fn shrinking_terminates_and_is_minimal() {
     // input is a single one-element inner vector holding exactly
     // (false, 100) — shrinking must reach it from whatever noisy program
     // the seed produces, and must do so within the replay budget.
-    let minimal: RefCell<Option<Vec<Vec<(bool, u64)>>>> = RefCell::new(None);
+    let minimal: RefCell<Option<Program>> = RefCell::new(None);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         check_cfg("selftest_shrink", &cfg(0xBAD5EED, 64), gen_program, |v| {
             if v.iter().flatten().any(|&(_, x)| x >= 100) {
