@@ -1,0 +1,240 @@
+//! Mutation self-tests: prove the checker catches real protocol bugs.
+//!
+//! Each entry runs a small, deliberately race-free program twice — once
+//! clean, once with a [`SeededBug`] armed — and records both check
+//! reports. A correct checker passes the clean run and reports at least
+//! one violation (with a node/page/virtual-time counterexample) for the
+//! mutated one. The programs carry no in-body assertions: the checker is
+//! the only oracle, so a mutation the application would itself crash on
+//! cannot mask a checker blind spot. `mutated_hits` guards against
+//! vacuous passes where the seeded bug never fires.
+
+use svm_core::{
+    run, BarrierId, LockId, ProtocolName, RunReport, SeededBug, SvmConfig, SvmCtx, TraceConfig,
+};
+
+use crate::{check_trace, CheckReport};
+
+/// The outcome of one clean-vs-mutated pair.
+pub struct SelfTestOutcome {
+    /// Short identifier, e.g. `"skip-diff-apply/hlrc"`.
+    pub name: &'static str,
+    /// Protocol the pair ran under.
+    pub protocol: ProtocolName,
+    /// The bug armed in the mutated run.
+    pub bug: SeededBug,
+    /// Checker report for the clean run (expected: `ok()`).
+    pub clean: CheckReport,
+    /// Checker report for the mutated run (expected: violations).
+    pub mutated: CheckReport,
+    /// How many times the seeded bug actually fired in the mutated run.
+    pub mutated_hits: u32,
+}
+
+impl SelfTestOutcome {
+    /// Did the checker behave as required: clean run strictly passes, the
+    /// bug fired, and the mutated run has at least one violation?
+    pub fn detected(&self) -> bool {
+        self.clean.ok() && self.mutated_hits > 0 && self.mutated.violations_total > 0
+    }
+}
+
+fn cfg(protocol: ProtocolName, nodes: usize, bug: Option<SeededBug>) -> SvmConfig {
+    let mut c = SvmConfig::new(protocol, nodes);
+    c.trace = TraceConfig::recording();
+    c.mutation = bug;
+    c
+}
+
+fn pair(
+    name: &'static str,
+    protocol: ProtocolName,
+    nodes: usize,
+    bug: SeededBug,
+    prog: fn(&SvmConfig) -> RunReport,
+) -> SelfTestOutcome {
+    let clean = prog(&cfg(protocol, nodes, None));
+    let mutated = prog(&cfg(protocol, nodes, Some(bug)));
+    SelfTestOutcome {
+        name,
+        protocol,
+        bug,
+        clean: check_trace(clean.trace.as_ref().expect("recording enabled")),
+        mutated: check_trace(mutated.trace.as_ref().expect("recording enabled")),
+        mutated_hits: mutated.mutation_hits,
+    }
+}
+
+/// Writer publishes under a lock, reader observes after a barrier. With
+/// `SkipDiffApply` the diff reaches the home (HLRC) or the faulting reader
+/// (LRC) but its bytes are dropped while the version bookkeeping advances,
+/// so the post-barrier read sees stale zeros.
+fn prog_skip_diff(c: &SvmConfig) -> RunReport {
+    run(
+        c,
+        |s| {
+            let x = s.alloc_array_pages::<u64>(8, "x");
+            s.assign_home(&x, 0..8, 0);
+            x
+        },
+        |ctx: &SvmCtx<'_>, x| {
+            if ctx.node() == 1 {
+                ctx.lock(LockId(0));
+                x.set(ctx, 0, 42);
+                ctx.unlock(LockId(0));
+                ctx.barrier(BarrierId(0));
+            } else {
+                ctx.barrier(BarrierId(0));
+                let _ = x.get(ctx, 0);
+            }
+        },
+    )
+}
+
+/// Node 0 writes between two barriers; node 1 read the page before, so its
+/// copy must be invalidated by node 0's interval write notices at the
+/// second barrier. `DropWriteNotices{nth: 0}` suppresses exactly that
+/// interval's notices, so node 1 re-reads its stale cached copy.
+fn prog_drop_notices(c: &SvmConfig) -> RunReport {
+    run(
+        c,
+        |s| {
+            let x = s.alloc_array_pages::<u64>(8, "x");
+            s.assign_home(&x, 0..8, 0);
+            x
+        },
+        |ctx: &SvmCtx<'_>, x| {
+            if ctx.node() == 1 {
+                let _ = x.get(ctx, 0);
+            }
+            ctx.barrier(BarrierId(0));
+            if ctx.node() == 0 {
+                x.set(ctx, 0, 7);
+            }
+            ctx.barrier(BarrierId(1));
+            if ctx.node() == 1 {
+                let _ = x.get(ctx, 0);
+            }
+        },
+    )
+}
+
+/// Lock-passing under OHLRC, where `end_interval` offloads diff creation
+/// to the coprocessor: node 0 dirties eight decoy pages and then the
+/// target before unlocking, so the flushes trail the grant; node 1
+/// acquires the lock and reads the target, and its home request races the
+/// in-flight flush. The version gate (`applied.covers`) must hold that
+/// reply back — `UngatedHomeReply` answers immediately with stale bytes.
+fn prog_ungated(c: &SvmConfig) -> RunReport {
+    const ELEMS: usize = 512; // one 4 KiB page of u64s
+    run(
+        c,
+        |s| {
+            let d = s.alloc_array_pages::<u64>(8 * ELEMS, "decoys");
+            let t = s.alloc_array_pages::<u64>(ELEMS, "target");
+            s.assign_home(&d, 0..8 * ELEMS, 2);
+            s.assign_home(&t, 0..ELEMS, 2);
+            (d, t)
+        },
+        |ctx: &SvmCtx<'_>, (d, t)| match ctx.node() {
+            0 => {
+                ctx.lock(LockId(0));
+                for p in 0..8 {
+                    d.set(ctx, p * ELEMS, 1);
+                }
+                t.set(ctx, 0, 5);
+                ctx.unlock(LockId(0));
+                ctx.barrier(BarrierId(0));
+            }
+            1 => {
+                ctx.lock(LockId(0));
+                let _ = t.get(ctx, 0);
+                ctx.unlock(LockId(0));
+                ctx.barrier(BarrierId(0));
+            }
+            _ => ctx.barrier(BarrierId(0)),
+        },
+    )
+}
+
+/// Node 1 caches the page, then acquires the lock after node 0's locked
+/// write. The grant must carry node 0's write-notice records so node 1
+/// invalidates its copy; `DropLockGrantRecords{nth: 0}` strips the first
+/// remote grant, so node 1 reads its stale cached value inside the
+/// critical section.
+fn prog_drop_grant(c: &SvmConfig) -> RunReport {
+    run(
+        c,
+        |s| {
+            let x = s.alloc_array_pages::<u64>(8, "x");
+            s.assign_home(&x, 0..8, 0);
+            x
+        },
+        |ctx: &SvmCtx<'_>, x| {
+            let _ = x.get(ctx, 0);
+            ctx.barrier(BarrierId(0));
+            if ctx.node() == 0 {
+                ctx.lock(LockId(0));
+                x.set(ctx, 0, 1);
+                ctx.unlock(LockId(0));
+            } else {
+                ctx.compute_us(10_000);
+                ctx.lock(LockId(0));
+                let _ = x.get(ctx, 0);
+                ctx.unlock(LockId(0));
+            }
+            ctx.barrier(BarrierId(1));
+        },
+    )
+}
+
+/// Run the full mutation battery. Every outcome should satisfy
+/// [`SelfTestOutcome::detected`]; the harness and the integration tests
+/// assert exactly that.
+pub fn run_selftests() -> Vec<SelfTestOutcome> {
+    use ProtocolName::*;
+    vec![
+        pair(
+            "skip-diff-apply/hlrc",
+            Hlrc,
+            2,
+            SeededBug::SkipDiffApply { nth: 0 },
+            prog_skip_diff,
+        ),
+        pair(
+            "skip-diff-apply/lrc",
+            Lrc,
+            2,
+            SeededBug::SkipDiffApply { nth: 0 },
+            prog_skip_diff,
+        ),
+        pair(
+            "drop-write-notices/hlrc",
+            Hlrc,
+            2,
+            SeededBug::DropWriteNotices { nth: 0 },
+            prog_drop_notices,
+        ),
+        pair(
+            "drop-write-notices/lrc",
+            Lrc,
+            2,
+            SeededBug::DropWriteNotices { nth: 0 },
+            prog_drop_notices,
+        ),
+        pair(
+            "ungated-home-reply/ohlrc",
+            Ohlrc,
+            3,
+            SeededBug::UngatedHomeReply,
+            prog_ungated,
+        ),
+        pair(
+            "drop-lock-grant-records/hlrc",
+            Hlrc,
+            2,
+            SeededBug::DropLockGrantRecords { nth: 0 },
+            prog_drop_grant,
+        ),
+    ]
+}

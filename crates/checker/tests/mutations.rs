@@ -1,0 +1,44 @@
+//! End-to-end mutation tests: every seeded protocol bug must be caught by
+//! the checker with a concrete counterexample, and every clean twin run
+//! must pass strictly. See `svm_checker::selftest` for the programs.
+
+use svm_checker::selftest::run_selftests;
+use svm_checker::Violation;
+
+#[test]
+fn every_seeded_mutation_is_detected() {
+    let outcomes = run_selftests();
+    assert!(outcomes.len() >= 3, "mutation battery shrank");
+    for o in &outcomes {
+        assert!(
+            o.clean.ok(),
+            "{}: clean run must pass strictly: {}",
+            o.name,
+            o.clean
+        );
+        assert!(
+            o.mutated_hits > 0,
+            "{}: seeded bug {:?} never fired — vacuous test",
+            o.name,
+            o.bug
+        );
+        assert!(
+            o.mutated.violations_total > 0,
+            "{}: checker missed the mutation ({:?}): {}",
+            o.name,
+            o.bug,
+            o.mutated
+        );
+        // The counterexample must name the faulty read: node, page, and
+        // virtual time.
+        assert!(
+            o.mutated
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ReadValue { .. })),
+            "{}: no ReadValue counterexample in {:?}",
+            o.name,
+            o.mutated.violations
+        );
+    }
+}

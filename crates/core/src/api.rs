@@ -22,6 +22,7 @@ use svm_sim::process::ProcessPort;
 use svm_sim::{HandoffCell, SimDuration};
 
 use crate::msg::SvmReq;
+use crate::trace::NodeRecorder;
 
 /// A lock identifier. Locks are created implicitly on first use; their
 /// managers are assigned round-robin by id (paper Section 3.5).
@@ -74,6 +75,7 @@ pub type AppPort = ProcessPort<AppRequest<SvmReq>, AppResponse<()>>;
 pub struct SvmCtx<'a> {
     port: &'a AppPort,
     cache: HandoffCell<NodeCache>,
+    recorder: Option<HandoffCell<NodeRecorder>>,
     geometry: Geometry,
     node: usize,
     nodes: usize,
@@ -81,9 +83,13 @@ pub struct SvmCtx<'a> {
 
 impl<'a> SvmCtx<'a> {
     /// Assemble a context (called by the runner's per-node glue).
+    /// `recorder` is the node's trace recorder when the run records an
+    /// access trace (shared with the agent under the same `HandoffCell`
+    /// contract as the mapping cache).
     pub fn new(
         port: &'a AppPort,
         cache: HandoffCell<NodeCache>,
+        recorder: Option<HandoffCell<NodeRecorder>>,
         geometry: Geometry,
         node: usize,
         nodes: usize,
@@ -91,9 +97,20 @@ impl<'a> SvmCtx<'a> {
         SvmCtx {
             port,
             cache,
+            recorder,
             geometry,
             node,
             nodes,
+        }
+    }
+
+    /// Run `f` against this node's recorder, if the run is recording.
+    fn record(&self, f: impl FnOnce(&mut NodeRecorder)) {
+        if let Some(rec) = &self.recorder {
+            // SAFETY: the application thread runs only between a resume and
+            // its next request; the kernel is parked, so this is the only
+            // live reference (HandoffCell contract, as for the cache).
+            f(unsafe { rec.get_mut() });
         }
     }
 
@@ -189,7 +206,7 @@ impl<'a> SvmCtx<'a> {
 
     /// Read `out.len()` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: GAddr, out: &mut [u8]) {
-        self.access_bytes(addr, out.len(), false, |ptr, off, done, len| {
+        self.access_bytes(addr, out.len(), false, |page, ptr, off, done, len| {
             // SAFETY: `ptr` maps a live page copy; `off + len` is within the
             // page (access_bytes splits at page boundaries); the kernel is
             // parked, so no concurrent access exists.
@@ -200,27 +217,29 @@ impl<'a> SvmCtx<'a> {
                     len,
                 );
             }
+            self.record(|r| r.read(page, off as u32, &out[done..done + len]));
         });
     }
 
     /// Write `src` starting at `addr`.
     pub fn write_bytes(&self, addr: GAddr, src: &[u8]) {
-        self.access_bytes(addr, src.len(), true, |ptr, off, done, len| {
+        self.access_bytes(addr, src.len(), true, |page, ptr, off, done, len| {
             // SAFETY: as in `read_bytes`, within-page and exclusive.
             unsafe {
                 std::ptr::copy_nonoverlapping(src[done..done + len].as_ptr(), ptr.add(off), len);
             }
+            self.record(|r| r.write(page, off as u32, &src[done..done + len]));
         });
     }
 
-    /// Split `[addr, addr+len)` into per-page chunks and run `f(page_ptr,
-    /// offset_in_page, bytes_done_so_far, chunk_len)` for each.
+    /// Split `[addr, addr+len)` into per-page chunks and run `f(page,
+    /// page_ptr, offset_in_page, bytes_done_so_far, chunk_len)` for each.
     fn access_bytes(
         &self,
         addr: GAddr,
         len: usize,
         write: bool,
-        mut f: impl FnMut(*mut u8, usize, usize, usize),
+        mut f: impl FnMut(u32, *mut u8, usize, usize, usize),
     ) {
         let ps = self.geometry.page_size();
         let mut a = addr;
@@ -230,7 +249,7 @@ impl<'a> SvmCtx<'a> {
             let off = self.geometry.offset_in_page(a);
             let chunk = (len - done).min(ps - off);
             let ptr = self.mapping(page.0, write);
-            f(ptr, off, done, chunk);
+            f(page.0, ptr, off, done, chunk);
             a = a + chunk as u64;
             done += chunk;
         }
@@ -244,12 +263,14 @@ impl<'a> SvmCtx<'a> {
             off + std::mem::size_of::<T>() <= self.geometry.page_size(),
             "scalar access crosses a page boundary (misaligned address {addr:?})"
         );
-        let ptr = self.mapping(self.geometry.page_of(addr).0, false);
+        let page = self.geometry.page_of(addr).0;
+        let ptr = self.mapping(page, false);
         let mut raw = [0u8; 8];
         // SAFETY: within-page (asserted), mapped, exclusive (kernel parked).
         unsafe {
             std::ptr::copy_nonoverlapping(ptr.add(off), raw.as_mut_ptr(), std::mem::size_of::<T>());
         }
+        self.record(|r| r.read(page, off as u32, &raw[..std::mem::size_of::<T>()]));
         T::from_raw(raw)
     }
 
@@ -257,12 +278,14 @@ impl<'a> SvmCtx<'a> {
     pub fn write<T: Scalar>(&self, addr: GAddr, v: T) {
         let off = self.geometry.offset_in_page(addr);
         debug_assert!(off + std::mem::size_of::<T>() <= self.geometry.page_size());
-        let ptr = self.mapping(self.geometry.page_of(addr).0, true);
+        let page = self.geometry.page_of(addr).0;
+        let ptr = self.mapping(page, true);
         let raw = v.to_raw();
         // SAFETY: within-page (asserted), mapped writable, exclusive.
         unsafe {
             std::ptr::copy_nonoverlapping(raw.as_ptr(), ptr.add(off), std::mem::size_of::<T>());
         }
+        self.record(|r| r.write(page, off as u32, &raw[..std::mem::size_of::<T>()]));
     }
 }
 

@@ -185,6 +185,44 @@ impl FaultProfile {
     }
 }
 
+/// A deliberately seeded protocol bug, for checker self-tests.
+///
+/// `svm-checker` is only a trustworthy oracle if it demonstrably *fails*
+/// corrupted runs. Each variant disables one load-bearing protocol step at
+/// a precise point; the mutation harness asserts the checker reports a
+/// read-legality violation for each. `None` (the default) is an exact
+/// no-op: the comparison sites compile to a branch on a `None` that is
+/// never taken.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Skip the `nth` diff application (0-based, counted across home
+    /// flushes and homeless fetch validation alike) while still raising
+    /// the applied vector — the page silently keeps stale bytes that the
+    /// version gate claims are current.
+    SkipDiffApply {
+        /// Which diff application to skip, 0-based.
+        nth: u32,
+    },
+    /// Drop the write notices of the `nth` closed interval (0-based):
+    /// diffs still resolve, but no peer ever learns the interval existed,
+    /// so cached copies are never invalidated.
+    DropWriteNotices {
+        /// Which interval close loses its notices, 0-based.
+        nth: u32,
+    },
+    /// Serve every home page request immediately, ignoring the
+    /// `applied.covers(&need)` version gate — a racing fetch can observe
+    /// the home copy before in-flight diffs land.
+    UngatedHomeReply,
+    /// Send the `nth` lock grant (0-based) with an empty write-notice
+    /// record set: the new holder merges the token's vector time but never
+    /// invalidates the pages those intervals dirtied.
+    DropLockGrantRecords {
+        /// Which lock grant loses its records, 0-based.
+        nth: u32,
+    },
+}
+
 /// Everything a protocol run needs to know.
 #[derive(Clone, Debug)]
 pub struct SvmConfig {
@@ -202,6 +240,12 @@ pub struct SvmConfig {
     pub gc_threshold_bytes: u64,
     /// Network fault injection + reliable delivery (default: off).
     pub fault: FaultProfile,
+    /// Debug logging + access-trace recording (default: log from
+    /// `SVM_TRACE`, recording off).
+    pub trace: crate::trace::TraceConfig,
+    /// Deliberately seeded protocol bug for checker self-tests
+    /// (default: none).
+    pub mutation: Option<SeededBug>,
 }
 
 impl SvmConfig {
@@ -217,6 +261,8 @@ impl SvmConfig {
             // well before exhausting memory.
             gc_threshold_bytes: 8 << 20,
             fault: FaultProfile::default(),
+            trace: crate::trace::TraceConfig::default(),
+            mutation: None,
         }
     }
 

@@ -32,9 +32,10 @@ pub mod trace;
 pub mod vt;
 
 pub use api::{BarrierId, LockId, SvmCtx};
-pub use config::{FaultProfile, HomePolicy, ProtocolKind, ProtocolName, SvmConfig};
+pub use config::{FaultProfile, HomePolicy, ProtocolKind, ProtocolName, SeededBug, SvmConfig};
 pub use metrics::{MemoryStats, NodeCounters, ProtocolReport};
 pub use protocol::reliable::{RetransmitEvent, Wire};
 pub use protocol::ProtocolError;
 pub use runner::{run, RunReport, Setup};
+pub use trace::{AccessTrace, TraceConfig, TraceEvent};
 pub use vt::VectorTime;

@@ -136,7 +136,7 @@ impl SvmAgent {
                 .map(|(w, i)| (w, st.applied.get(w), i))
                 .collect()
         };
-        if crate::trace::trace_on() {
+        if self.cfg.trace.debug_log {
             eprintln!("T request_diffs {n:?} page {page:?} needs={needs:?}");
         }
         if needs.is_empty() {
@@ -216,7 +216,7 @@ impl SvmAgent {
                     .collect()
             })
             .unwrap_or_default();
-        if crate::trace::trace_on() {
+        if self.cfg.trace.debug_log {
             let ks: Vec<_> = diffs
                 .iter()
                 .map(|p| (p.writer.0, p.interval, p.diff.payload_bytes()))
@@ -361,17 +361,20 @@ impl SvmAgent {
     ) {
         let idx = r.index();
         causal_sort(&mut stash);
-        if crate::trace::trace_on() {
+        if self.cfg.trace.debug_log {
             let ks: Vec<_> = stash.iter().map(|p| (p.writer.0, p.interval)).collect();
             eprintln!("T validate {r:?} page {page:?} applying {ks:?}");
         }
         for pkt in &stash {
             let apply = ctx.cost().diff_apply(pkt.diff.payload_bytes());
             ctx.work(apply, Category::Protocol);
+            let skip_apply = self.bug_skip_diff_apply();
             let st = &mut self.nodes_st[idx].pages[page.0 as usize];
-            // SAFETY: kernel phase; app threads parked.
-            pkt.diff
-                .apply(unsafe { st.buf.as_ref().expect("base copy present").bytes_mut() });
+            if !skip_apply {
+                // SAFETY: kernel phase; app threads parked.
+                pkt.diff
+                    .apply(unsafe { st.buf.as_ref().expect("base copy present").bytes_mut() });
+            }
             st.applied.raise(pkt.writer, pkt.interval);
             self.counters[idx].diffs_applied += 1;
         }

@@ -68,7 +68,8 @@ impl SvmAgent {
         );
         let ready = self.nodes_st[h.index()].pages[page.0 as usize]
             .applied
-            .covers(&need);
+            .covers(&need)
+            || self.bug_ungated_home_reply();
         if ready {
             self.reply_home_page(ctx, h, page, requester);
         } else {
@@ -119,11 +120,15 @@ impl SvmAgent {
             ctx.work(apply, Category::Protocol);
         }
         let idx = h.index();
+        let skip_apply = self.bug_skip_diff_apply();
         {
             let st = &mut self.nodes_st[idx].pages[page.0 as usize];
-            // SAFETY: kernel phase; app threads parked. The home's copy is
-            // the master; applying in place is the protocol (Section 2.3).
-            diff.apply(unsafe { st.buf.as_ref().expect("home copy").bytes_mut() });
+            if !skip_apply {
+                // SAFETY: kernel phase; app threads parked. The home's copy
+                // is the master; applying in place is the protocol (Section
+                // 2.3).
+                diff.apply(unsafe { st.buf.as_ref().expect("home copy").bytes_mut() });
+            }
             st.applied.raise(writer, interval);
         }
         self.counters[idx].diffs_applied += 1;

@@ -39,14 +39,22 @@ impl SvmAgent {
             vt: rec_vt.clone(),
             pages: dirty.clone(),
         });
-        if crate::trace::trace_on() {
+        if self.cfg.trace.debug_log {
             eprintln!(
                 "T end_interval {n:?} i{interval} vt={:?} pages={:?}",
                 self.nodes_st[idx].vt, rec.pages
             );
         }
-        self.counters[idx].mem.notices(rec.bytes() as i64);
-        self.nodes_st[idx].log.insert((n.0, interval), rec);
+        if !self.bug_drop_write_notices() {
+            self.counters[idx].mem.notices(rec.bytes() as i64);
+            self.nodes_st[idx].log.insert((n.0, interval), rec);
+        }
+        if self.recording() {
+            let vt = self.nodes_st[idx].vt.clone();
+            let at = ctx.now();
+            let pages: Vec<u32> = dirty.iter().map(|p| p.0).collect();
+            self.with_recorder(n, |r| r.interval_end(interval, vt, at, pages));
+        }
 
         let overlapped = self.overlapped();
         let homeless = self.homeless();
@@ -228,6 +236,7 @@ impl SvmAgent {
     ) {
         let idx = n.index();
         let homeless = self.homeless();
+        let debug_log = self.cfg.trace.debug_log;
         let mut invalidated = 0usize;
         for rec in records {
             if rec.writer == n {
@@ -242,7 +251,7 @@ impl SvmAgent {
             for &p in &rec.pages {
                 let home = self.dir[p.0 as usize].home;
                 let st = &mut self.nodes_st[idx].pages[p.0 as usize];
-                if crate::trace::trace_on() {
+                if debug_log {
                     eprintln!(
                         "T proc_rec at {n:?}: writer {:?} i{} page {:?} applied={}",
                         rec.writer,

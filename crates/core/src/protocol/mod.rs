@@ -19,9 +19,10 @@ use svm_mem::{Geometry, PageBuf, PageNum};
 use svm_sim::{HandoffCell, SimDuration, SimTime};
 
 use crate::api::{BarrierId, Mapping, NodeCache};
-use crate::config::{HomePolicy, ProtocolKind, SvmConfig};
+use crate::config::{HomePolicy, ProtocolKind, SeededBug, SvmConfig};
 use crate::metrics::NodeCounters;
 use crate::msg::{SvmMsg, SvmReq};
+use crate::trace::NodeRecorder;
 use crate::vt::VectorTime;
 
 use reliable::ReliableNet;
@@ -125,6 +126,34 @@ impl BarrierState {
     }
 }
 
+/// Recording-layer bookkeeping: global per-lock acquisition sequence
+/// numbers. Acquisition `s` of a lock happens-after release `s-1`
+/// (the token chain is a total order per lock), which is exactly the
+/// release→acquire edge the checker rebuilds.
+#[derive(Default)]
+pub struct LockSeqs {
+    /// Next acquisition number per lock (first acquisition is 1).
+    pub next: std::collections::HashMap<u32, u64>,
+    /// The acquisition number each node's currently-held lock entered with.
+    pub held: std::collections::HashMap<(u16, u32), u64>,
+}
+
+/// Occurrence counters driving the `nth`-occurrence [`SeededBug`]
+/// mutations, plus how often the seeded bug actually fired (self-tests
+/// assert `hits > 0` so a mutation that never triggers fails loudly
+/// instead of vacuously passing).
+#[derive(Default)]
+pub struct MutationState {
+    /// Diff applications performed so far (flush + fetch validation).
+    pub diff_applies: u32,
+    /// Intervals closed so far (with a non-empty write set).
+    pub interval_closes: u32,
+    /// Remote lock grants sent so far.
+    pub lock_grants: u32,
+    /// Times the configured bug fired.
+    pub hits: u32,
+}
+
 /// The protocol implementation behind all four configurations.
 pub struct SvmAgent {
     /// Run configuration.
@@ -153,6 +182,13 @@ pub struct SvmAgent {
     pub net: ReliableNet,
     /// Structured protocol errors detected this run.
     pub errors: Vec<ProtocolError>,
+    /// Per-node trace recorders (`Some` iff `cfg.trace.record`), shared
+    /// with the application contexts.
+    pub recorders: Option<Vec<HandoffCell<NodeRecorder>>>,
+    /// Lock acquisition numbering for the recorded trace.
+    pub lock_seqs: LockSeqs,
+    /// Seeded-bug occurrence counters.
+    pub mutation: MutationState,
 }
 
 impl SvmAgent {
@@ -202,6 +238,11 @@ impl SvmAgent {
                 validator: owner,
             });
         }
+        let recorders = cfg.trace.record.then(|| {
+            (0..nodes)
+                .map(|_| HandoffCell::new(NodeRecorder::new()))
+                .collect()
+        });
         SvmAgent {
             counters: vec![NodeCounters::default(); nodes],
             barrier_marks: vec![Vec::new(); nodes],
@@ -209,6 +250,9 @@ impl SvmAgent {
             lock_mgr: std::collections::HashMap::new(),
             net: ReliableNet::new(&cfg.fault),
             errors: Vec::new(),
+            recorders,
+            lock_seqs: LockSeqs::default(),
+            mutation: MutationState::default(),
             nodes_st,
             dir,
             caches,
@@ -309,9 +353,98 @@ impl SvmAgent {
         }
     }
 
+    /// Run `f` against `node`'s trace recorder, if the run is recording.
+    pub fn with_recorder(&mut self, node: NodeId, f: impl FnOnce(&mut NodeRecorder)) {
+        if let Some(recs) = &self.recorders {
+            // SAFETY: handlers run in kernel phases; every application
+            // thread is parked, so the HandoffCell contract holds (see
+            // install_mapping).
+            f(unsafe { recs[node.index()].get_mut() });
+        }
+    }
+
+    /// Whether the run records an access trace.
+    pub fn recording(&self) -> bool {
+        self.recorders.is_some()
+    }
+
+    /// Assign the next acquisition number of `lock` to `node` (recording
+    /// runs only; the first acquisition is numbered 1).
+    pub fn lock_seq_acquire(&mut self, node: NodeId, lock: u32) -> u64 {
+        let seq = self.lock_seqs.next.entry(lock).or_insert(0);
+        *seq += 1;
+        self.lock_seqs.held.insert((node.0, lock), *seq);
+        *seq
+    }
+
+    /// The acquisition number `node`'s held `lock` entered with.
+    pub fn lock_seq_release(&mut self, node: NodeId, lock: u32) -> u64 {
+        self.lock_seqs
+            .held
+            .remove(&(node.0, lock))
+            .expect("release of a lock with no recorded acquisition")
+    }
+
+    /// Whether the seeded bug says to skip this diff application (counts
+    /// one application per call while the mutation is armed).
+    pub fn bug_skip_diff_apply(&mut self) -> bool {
+        let Some(SeededBug::SkipDiffApply { nth }) = self.cfg.mutation else {
+            return false;
+        };
+        let n = self.mutation.diff_applies;
+        self.mutation.diff_applies += 1;
+        if n == nth {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the seeded bug says to drop this closed interval's write
+    /// notices.
+    pub fn bug_drop_write_notices(&mut self) -> bool {
+        let Some(SeededBug::DropWriteNotices { nth }) = self.cfg.mutation else {
+            return false;
+        };
+        let n = self.mutation.interval_closes;
+        self.mutation.interval_closes += 1;
+        if n == nth {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the seeded bug says to ignore the home version gate.
+    pub fn bug_ungated_home_reply(&mut self) -> bool {
+        if matches!(self.cfg.mutation, Some(SeededBug::UngatedHomeReply)) {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the seeded bug says to strip this lock grant's records.
+    pub fn bug_drop_lock_grant_records(&mut self) -> bool {
+        let Some(SeededBug::DropLockGrantRecords { nth }) = self.cfg.mutation else {
+            return false;
+        };
+        let n = self.mutation.lock_grants;
+        self.mutation.lock_grants += 1;
+        if n == nth {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Message dispatch shared by `on_message` and local shortcuts.
     fn dispatch(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: SvmMsg) {
-        if crate::trace::trace_on() {
+        if self.cfg.trace.debug_log {
             eprintln!(
                 "T {:>12.3}us  {from} -> {at}  {}",
                 ctx.now().as_nanos() as f64 / 1e3,

@@ -43,6 +43,12 @@ impl SvmAgent {
                 // "All lock acquire requests are sent to the manager unless
                 // the node itself holds the lock" — local re-acquire, free.
                 self.nodes_st[idx].lock(l.0).token = TokenState::InCs;
+                if self.recording() {
+                    let seq = self.lock_seq_acquire(n, l.0);
+                    let vt = self.nodes_st[idx].vt.clone();
+                    let at = ctx.now();
+                    self.with_recorder(n, |r| r.acquire(l.0, seq, vt, at));
+                }
                 ctx.ack_app(n);
             }
             TokenState::Absent => {
@@ -144,8 +150,11 @@ impl SvmAgent {
         debug_assert_ne!(h, requester, "self-grant is the HeldFree local path");
         self.end_interval(ctx, h);
         self.nodes_st[h.index()].lock(l.0).token = TokenState::Absent;
-        let records = self.records_for(h, req_vt);
-        if crate::trace::trace_on() {
+        let mut records = self.records_for(h, req_vt);
+        if self.bug_drop_lock_grant_records() {
+            records.clear();
+        }
+        if self.cfg.trace.debug_log {
             let ks: Vec<_> = records.iter().map(|r| (r.writer.0, r.interval)).collect();
             let lg: Vec<_> = self.nodes_st[h.index()].log.keys().cloned().collect();
             eprintln!("T grant {h:?} -> {requester:?} lock {} req_vt={req_vt:?} my_vt={:?} records={ks:?} log={lg:?}", l.0, self.nodes_st[h.index()].vt);
@@ -178,11 +187,23 @@ impl SvmAgent {
         // Forwards that raced ahead of the grant now wait for our release.
         let early = std::mem::take(&mut st.early_forwards);
         st.waiters.extend(early);
+        if self.recording() {
+            let seq = self.lock_seq_acquire(r, l.0);
+            let vt = self.nodes_st[r.index()].vt.clone();
+            let at = ctx.now();
+            self.with_recorder(r, |rec| rec.acquire(l.0, seq, vt, at));
+        }
         ctx.ack_app(r);
     }
 
     /// Application `UNLOCK` request.
     pub(crate) fn on_unlock(&mut self, ctx: &mut MCtx<'_>, n: NodeId, l: LockId) {
+        if self.recording() {
+            let seq = self.lock_seq_release(n, l.0);
+            let vt = self.nodes_st[n.index()].vt.clone();
+            let at = ctx.now();
+            self.with_recorder(n, |r| r.release(l.0, seq, vt, at));
+        }
         let next = {
             let st = self.nodes_st[n.index()].lock(l.0);
             assert_eq!(
@@ -211,6 +232,11 @@ impl SvmAgent {
         let idx = n.index();
         self.counters[idx].barriers += 1;
         self.end_interval(ctx, n);
+        if self.recording() {
+            let vt = self.nodes_st[idx].vt.clone();
+            let at = ctx.now();
+            self.with_recorder(n, |r| r.barrier_enter(b.0, vt, at));
+        }
         ctx.block_app(n, Category::Barrier);
         // Send the manager our own intervals since the last barrier (it
         // learns third-party intervals from their writers directly).
@@ -340,7 +366,7 @@ impl SvmAgent {
         &mut self,
         ctx: &mut MCtx<'_>,
         r: NodeId,
-        _b: BarrierId,
+        b: BarrierId,
         vt: VectorTime,
         records: Vec<Rc<IntervalRec>>,
         gc: bool,
@@ -370,6 +396,11 @@ impl SvmAgent {
         let seq = self.barrier.seq;
         let mark = ctx.breakdown(r);
         self.barrier_marks[idx].push((seq, ctx.now(), mark));
+        if self.recording() {
+            let vtc = self.nodes_st[idx].vt.clone();
+            let at = ctx.now();
+            self.with_recorder(r, |rec| rec.barrier_leave(b.0, vtc, at));
+        }
         ctx.ack_app(r);
     }
 }

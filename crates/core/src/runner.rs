@@ -12,6 +12,7 @@ use crate::config::{ProtocolName, SvmConfig};
 use crate::metrics::ProtocolReport;
 use crate::protocol::reliable::RetransmitEvent;
 use crate::protocol::{ProtocolError, SvmAgent};
+use crate::trace::AccessTrace;
 
 /// The initialization-phase handle: `G_MALLOC` plus golden-image writes and
 /// home-placement hints. Runs once, "on node 0, before spawning the
@@ -141,6 +142,13 @@ pub struct RunReport {
     /// Every retransmission the reliable-delivery layer performed, in
     /// event order — bit-identical across runs with the same fault seed.
     pub retransmit_trace: Vec<RetransmitEvent>,
+    /// The recorded access trace (`Some` iff `config.trace.record`), ready
+    /// for `svm-checker`.
+    pub trace: Option<AccessTrace>,
+    /// How many times the seeded bug fired (0 when `config.mutation` is
+    /// `None`; checker self-tests assert it is nonzero so a mutation that
+    /// never triggers cannot pass vacuously).
+    pub mutation_hits: u32,
 }
 
 impl RunReport {
@@ -201,6 +209,10 @@ where
         .map(|_| HandoffCell::new(NodeCache::new(num_pages as usize)))
         .collect();
 
+    // The checker needs the post-initialization image; keep a copy when
+    // recording (the agent consumes `golden` for first-touch/home placement).
+    let initial = config.trace.record.then(|| golden.clone());
+
     let agent = SvmAgent::new(
         config.clone(),
         geometry,
@@ -209,6 +221,7 @@ where
         explicit_homes,
         caches.clone(),
     );
+    let recorders = agent.recorders.clone();
 
     let body = Arc::new(body);
     let bodies: Vec<svm_machine::machine::AppBody<SvmAgent>> = (0..nodes)
@@ -216,8 +229,9 @@ where
             let body = Arc::clone(&body);
             let layout = layout.clone();
             let cell = caches[i].clone();
+            let recorder = recorders.as_ref().map(|r| r[i].clone());
             let b: svm_machine::machine::AppBody<SvmAgent> = Box::new(move |port: &AppPort| {
-                let ctx = SvmCtx::new(port, cell, geometry, i, nodes);
+                let ctx = SvmCtx::new(port, cell, recorder, geometry, i, nodes);
                 body(&ctx, &layout);
             });
             b
@@ -249,6 +263,22 @@ where
         }
     }
 
+    // Collect the recorded trace: the machine has shut down, so every
+    // application thread is gone and the recorder handles are exclusive.
+    let trace = agent.recorders.take().map(|recs| AccessTrace {
+        nodes,
+        page_size: geometry.page_size(),
+        num_pages,
+        initial: initial.expect("initial image kept when recording"),
+        events: recs
+            .iter()
+            .map(|cell| {
+                // SAFETY: the run is over; no other reference exists.
+                unsafe { cell.get_mut() }.finish()
+            })
+            .collect(),
+    });
+
     RunReport {
         protocol: config.protocol,
         nodes,
@@ -261,6 +291,8 @@ where
         num_pages,
         errors: std::mem::take(&mut agent.errors),
         retransmit_trace: std::mem::take(&mut agent.net.trace),
+        trace,
+        mutation_hits: agent.mutation.hits,
     }
 }
 

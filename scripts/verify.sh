@@ -23,9 +23,12 @@ echo "== benches compile (offline)"
 cargo build --benches
 
 echo "== clippy, warnings denied (offline)"
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fault-injection smoke matrix (drop rates 0 / 0.1% / 1%)"
 cargo run --release -p svm-bench --bin chaos -- --scale 0.03 --nodes 4 --drop 0,0.001,0.01
+
+echo "== consistency check matrix (record -> svm-checker, fast subset)"
+cargo run --release -p svm-bench --bin check -- --fast
 
 echo "verify: OK"
