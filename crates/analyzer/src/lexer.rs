@@ -1,0 +1,439 @@
+//! A lightweight Rust lexer: just enough tokenization to run source-level
+//! lints without a full parser.
+//!
+//! The lexer classifies comments (line and *nested* block), string literals
+//! (plain, byte, raw with any `#` arity), char literals vs lifetimes
+//! (`'a'` vs `'a`), identifiers/keywords, numbers, and punctuation. Rules
+//! operate on the *significant* token stream (everything but comments),
+//! which is what makes `"// unsafe"` inside a string or `HashMap` inside a
+//! doc comment invisible to the lints — and a `// SAFETY:` comment visible
+//! to the audit that wants it.
+
+/// Token classification.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (also bare numbers — no rule cares).
+    Ident,
+    /// One punctuation character.
+    Punct,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// A character literal such as `'x'` or `'\n'`.
+    CharLit,
+    /// A `"..."` or `b"..."` string literal.
+    StrLit,
+    /// A raw string literal `r"..."`, `r#"..."#`, `br#"..."#`, …
+    RawStrLit,
+    /// A `// ...` comment (text excludes the newline).
+    LineComment,
+    /// A `/* ... */` comment, possibly nested, possibly multi-line.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: TokKind,
+    /// The token text, including delimiters.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on (differs for multi-line tokens).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// Whether this token takes part in the significant (non-comment)
+    /// stream.
+    pub fn significant(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Unterminated literals and comments are closed at end of
+/// input (the lints prefer resilience over rejection).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while let Some(b) = c.peek(0) {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                push(&mut out, TokKind::LineComment, src, start, c.pos, line, line);
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(
+                    &mut out,
+                    TokKind::BlockComment,
+                    src,
+                    start,
+                    c.pos,
+                    line,
+                    c.line,
+                );
+            }
+            b'"' => {
+                lex_string(&mut c);
+                push(&mut out, TokKind::StrLit, src, start, c.pos, line, c.line);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`). A quote
+                // followed by an escape is always a char literal; a quote
+                // followed by an identifier char is a char literal only if
+                // the *next* char closes it (`'a'`), otherwise a lifetime.
+                c.bump();
+                match c.peek(0) {
+                    Some(b'\\') => {
+                        c.bump(); // backslash
+                        c.bump(); // escaped char
+                        // Consume up to the closing quote (covers \u{..}).
+                        while let Some(b) = c.peek(0) {
+                            c.bump();
+                            if b == b'\'' {
+                                break;
+                            }
+                        }
+                        push(&mut out, TokKind::CharLit, src, start, c.pos, line, line);
+                    }
+                    Some(x) if is_ident_start(x) || x.is_ascii_digit() => {
+                        if c.peek(1) == Some(b'\'') {
+                            c.bump();
+                            c.bump();
+                            push(&mut out, TokKind::CharLit, src, start, c.pos, line, line);
+                        } else {
+                            while let Some(b) = c.peek(0) {
+                                if !is_ident_continue(b) {
+                                    break;
+                                }
+                                c.bump();
+                            }
+                            push(&mut out, TokKind::Lifetime, src, start, c.pos, line, line);
+                        }
+                    }
+                    Some(_) => {
+                        // `'('` style char literal of a punctuation char.
+                        c.bump();
+                        if c.peek(0) == Some(b'\'') {
+                            c.bump();
+                        }
+                        push(&mut out, TokKind::CharLit, src, start, c.pos, line, line);
+                    }
+                    None => {
+                        push(&mut out, TokKind::Punct, src, start, c.pos, line, line);
+                    }
+                }
+            }
+            _ if is_ident_start(b) => {
+                while let Some(x) = c.peek(0) {
+                    if !is_ident_continue(x) {
+                        break;
+                    }
+                    c.bump();
+                }
+                let ident = &src[start..c.pos];
+                // Raw / byte string prefixes glue onto the literal.
+                let next = c.peek(0);
+                let raw = matches!(ident, "r" | "br")
+                    && matches!(next, Some(b'"') | Some(b'#'))
+                    && raw_string_follows(&c);
+                if raw {
+                    lex_raw_string(&mut c);
+                    push(&mut out, TokKind::RawStrLit, src, start, c.pos, line, c.line);
+                } else if ident == "b" && next == Some(b'"') {
+                    c.bump();
+                    lex_string(&mut c);
+                    push(&mut out, TokKind::StrLit, src, start, c.pos, line, c.line);
+                } else {
+                    push(&mut out, TokKind::Ident, src, start, c.pos, line, line);
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                while let Some(x) = c.peek(0) {
+                    if !is_ident_continue(x) {
+                        break;
+                    }
+                    c.bump();
+                }
+                push(&mut out, TokKind::Ident, src, start, c.pos, line, line);
+            }
+            _ => {
+                c.bump();
+                push(&mut out, TokKind::Punct, src, start, c.pos, line, line);
+            }
+        }
+    }
+    out
+}
+
+/// After an `r`/`br` prefix: does `#*"` actually follow (vs `r#raw_ident`)?
+fn raw_string_follows(c: &Cursor<'_>) -> bool {
+    let mut i = 0;
+    while c.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    c.peek(i) == Some(b'"')
+}
+
+/// Consume a string body; the cursor sits past the opening quote's `"` on
+/// entry for byte strings, or *on* it for plain strings.
+fn lex_string(c: &mut Cursor<'_>) {
+    if c.peek(0) == Some(b'"') {
+        c.bump();
+    }
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume `#*"..."#*` (cursor sits on the first `#` or the quote).
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && c.peek(0) == Some(b'#') {
+                    seen += 1;
+                    c.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+fn push(
+    out: &mut Vec<Tok>,
+    kind: TokKind,
+    src: &str,
+    start: usize,
+    end: usize,
+    line: u32,
+    end_line: u32,
+) {
+    out.push(Tok {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+        end_line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let toks = kinds("a // c1\nb /* c2 */ c");
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[1], (TokKind::LineComment, "// c1".into()));
+        assert_eq!(toks[3], (TokKind::BlockComment, "/* c2 */".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "c".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("x /* outer /* inner */ still */ y");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still */");
+        assert_eq!(toks[2], (TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let toks = lex("a /* one\ntwo\nthree */ b");
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[1].end_line, 3);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_keywords() {
+        let toks = kinds(r#"let s = "// unsafe HashMap /*";"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("unsafe")));
+        // None of the banned words leak as identifiers.
+        assert_eq!(idents(r#"let s = "// unsafe HashMap /*";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#" "a\"b" x "#);
+        assert_eq!(toks[0], (TokKind::StrLit, r#""a\"b""#.into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_arity() {
+        let toks = kinds(r##"let s = r"plain"; t"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStrLit && t == "r\"plain\""));
+        let src = "let s = r#\"has \" quote and // slashes\"#; done";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStrLit && t.contains("quote")));
+        assert_eq!(*idents(src).last().unwrap(), "done");
+        // Two hashes, body contains "#.
+        let src = "r##\"inner \"# stays\"## end";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::RawStrLit);
+        assert_eq!(toks[1], (TokKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r#"b"bytes" br"raw" x"#);
+        assert_eq!(toks[0].0, TokKind::StrLit);
+        assert_eq!(toks[1].0, TokKind::RawStrLit);
+        assert_eq!(toks[2], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'a'"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        // Escaped char, unicode escape, punctuation char.
+        let toks = kinds(r"'\n' '\u{1F600}' '(' '_' '_");
+        assert_eq!(toks[0].0, TokKind::CharLit);
+        assert_eq!(toks[1].0, TokKind::CharLit);
+        assert_eq!(toks[2].0, TokKind::CharLit);
+        assert_eq!(toks[3].0, TokKind::CharLit, "'_' is a char literal");
+        assert_eq!(toks[4].0, TokKind::Lifetime, "'_ is a lifetime");
+    }
+
+    #[test]
+    fn lifetime_then_ident_not_merged() {
+        let toks = kinds("&'static str");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "str".into()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, u32)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        // `r#match` is a raw identifier, not a raw string.
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::RawStrLit));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        lex("/* never closed");
+        lex("\"never closed");
+        lex("r#\"never closed");
+        lex("'");
+    }
+}

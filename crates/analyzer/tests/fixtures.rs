@@ -1,0 +1,296 @@
+//! The analyzer's teeth: one deliberately-violating snippet per rule,
+//! checked against the expected rule id and line — plus a suppressed /
+//! annotated twin of each snippet that must come back clean. If a rule
+//! silently stops firing, these fail the same way the PR 3 mutation
+//! battery fails when the checker goes blind.
+
+use svm_analyzer::{analyze_files, Config, Finding, SourceSpec};
+
+fn cfg() -> Config {
+    Config::workspace_default()
+}
+
+fn analyze_one(path: &str, src: &str) -> Vec<Finding> {
+    analyze_files(
+        &[SourceSpec {
+            path: path.to_string(),
+            src: src.to_string(),
+        }],
+        &cfg(),
+    )
+}
+
+fn expect_hit(findings: &[Finding], rule: &str, line: u32) {
+    assert!(
+        findings.iter().any(|f| f.rule == rule && f.line == line),
+        "expected a {rule} finding at line {line}, got: {findings:#?}"
+    );
+}
+
+// ---- determinism ----
+
+#[test]
+fn determinism_flags_hash_containers_in_sim_scope() {
+    let src = "use std::collections::HashMap;\n\
+               struct S { m: HashMap<u32, u32> }\n";
+    let findings = analyze_one("crates/core/src/protocol/foo.rs", src);
+    expect_hit(&findings, "determinism", 1);
+    expect_hit(&findings, "determinism", 2);
+    // Out of scope (apps may hash): same source, different path.
+    assert!(analyze_one("crates/apps/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_flags_wall_clock_everywhere_non_exempt() {
+    let src = "fn f() {\n\
+               let t = std::time::Instant::now();\n\
+               std::thread::sleep(d);\n\
+               let p = std::process::id();\n\
+               let s = std::time::SystemTime::UNIX_EPOCH;\n\
+               }\n";
+    let findings = analyze_one("crates/apps/src/foo.rs", src);
+    expect_hit(&findings, "determinism", 2);
+    expect_hit(&findings, "determinism", 3);
+    expect_hit(&findings, "determinism", 4);
+    expect_hit(&findings, "determinism", 5);
+    // The bench-timer crate is exempt by config.
+    assert!(analyze_one("crates/testkit/src/foo.rs", src).is_empty());
+}
+
+#[test]
+fn determinism_suppressed_by_allow_with_reason() {
+    let src = "// lint: allow(determinism, key order never observed)\n\
+               use std::collections::HashMap;\n";
+    assert!(analyze_one("crates/core/src/protocol/foo.rs", src).is_empty());
+    // An allow without a reason does not count.
+    let src = "// lint: allow(determinism,)\n\
+               use std::collections::HashMap;\n";
+    expect_hit(
+        &analyze_one("crates/core/src/protocol/foo.rs", src),
+        "determinism",
+        2,
+    );
+}
+
+// ---- unsafe-audit ----
+
+#[test]
+fn unsafe_audit_requires_safety_comment() {
+    let src = "fn f(p: *mut u8) {\n\
+               unsafe { *p = 0 };\n\
+               }\n\
+               unsafe impl Send for S {}\n";
+    let findings = analyze_one("crates/foo/src/lib.rs", src);
+    expect_hit(&findings, "unsafe-audit", 2);
+    expect_hit(&findings, "unsafe-audit", 4);
+}
+
+#[test]
+fn unsafe_audit_accepts_safety_comment_and_multi_line_blocks() {
+    let src = "fn f(p: *mut u8) {\n\
+               // SAFETY: p is valid for writes by contract.\n\
+               unsafe { *p = 0 };\n\
+               }\n\
+               // SAFETY: S owns its data and the pointer is never shared\n\
+               // across threads without the rendezvous protocol described\n\
+               // on the type; sending it is therefore sound.\n\
+               unsafe impl Send for S {}\n";
+    assert!(analyze_one("crates/foo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_audit_ignores_unsafe_in_strings_and_comments() {
+    let src = "fn f() {\n\
+               let s = \"unsafe { }\";\n\
+               let r = r#\"unsafe impl Send\"#;\n\
+               // this comment says unsafe but there is no unsafe code\n\
+               }\n";
+    assert!(analyze_one("crates/foo/src/lib.rs", src).is_empty());
+}
+
+// ---- panic-policy ----
+
+#[test]
+fn panic_policy_flags_unannotated_panics_in_protocol_scope() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               let a = x.unwrap();\n\
+               let b = x.expect(\"present\");\n\
+               if a != b { panic!(\"mismatch\") }\n\
+               unreachable!()\n\
+               }\n";
+    let findings = analyze_one("crates/core/src/protocol/foo.rs", src);
+    expect_hit(&findings, "panic-policy", 2);
+    expect_hit(&findings, "panic-policy", 3);
+    expect_hit(&findings, "panic-policy", 4);
+    expect_hit(&findings, "panic-policy", 5);
+    // The same file outside the protocol tree is not in scope.
+    assert!(analyze_one("crates/core/src/vt.rs", src).is_empty());
+}
+
+#[test]
+fn panic_policy_accepts_invariant_annotations() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               // INVARIANT: x was checked by the caller.\n\
+               x.unwrap()\n\
+               }\n";
+    assert!(analyze_one("crates/core/src/protocol/foo.rs", src).is_empty());
+}
+
+#[test]
+fn panic_policy_skips_cfg_test_regions() {
+    let src = "fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               #[test]\n\
+               fn t() { None::<u32>.unwrap(); }\n\
+               }\n";
+    assert!(analyze_one("crates/core/src/protocol/foo.rs", src).is_empty());
+}
+
+// ---- message-totality ----
+
+#[test]
+fn totality_flags_unmatched_variant_and_catch_all() {
+    let def = "pub enum Wire {\n\
+               Plain(u32),\n\
+               Data { seq: u64 },\n\
+               Ack,\n\
+               }\n";
+    let user = "fn f(w: &Wire) -> u32 {\n\
+                match w {\n\
+                Wire::Plain(x) => *x,\n\
+                Wire::Data { seq } => *seq as u32,\n\
+                _ => 0,\n\
+                }\n\
+                }\n";
+    let findings = analyze_files(
+        &[
+            SourceSpec {
+                path: "crates/core/src/msg.rs".into(),
+                src: def.to_string(),
+            },
+            SourceSpec {
+                path: "crates/core/src/protocol/foo.rs".into(),
+                src: user.to_string(),
+            },
+        ],
+        &cfg(),
+    );
+    // Ack never appears in a match arm: flagged at the enum definition.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "message-totality"
+                && f.file == "crates/core/src/msg.rs"
+                && f.line == 1
+                && f.message.contains("Ack")),
+        "missing-variant finding absent: {findings:#?}"
+    );
+    // And the `_ =>` arm is flagged where it swallows Wire.
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "message-totality"
+                && f.file == "crates/core/src/protocol/foo.rs"
+                && f.line == 5),
+        "catch-all finding absent: {findings:#?}"
+    );
+}
+
+#[test]
+fn totality_clean_when_every_variant_matched() {
+    let def = "pub enum Wire { Plain(u32), Data { seq: u64 }, Ack }\n";
+    let user = "fn f(w: &Wire) -> u32 {\n\
+                match w {\n\
+                Wire::Plain(x) => *x,\n\
+                Wire::Data { seq } if *seq > 0 => 1,\n\
+                Wire::Data { .. } | Wire::Ack => 0,\n\
+                }\n\
+                }\n";
+    let findings = analyze_files(
+        &[
+            SourceSpec {
+                path: "crates/core/src/msg.rs".into(),
+                src: def.to_string(),
+            },
+            SourceSpec {
+                path: "crates/core/src/protocol/foo.rs".into(),
+                src: user.to_string(),
+            },
+        ],
+        &cfg(),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn totality_construction_sites_do_not_count_as_arms() {
+    let def = "pub enum Wire { Plain(u32) }\n";
+    let user = "fn f() -> Wire { Wire::Plain(1) }\n";
+    let findings = analyze_files(
+        &[
+            SourceSpec {
+                path: "crates/core/src/msg.rs".into(),
+                src: def.to_string(),
+            },
+            SourceSpec {
+                path: "crates/core/src/protocol/foo.rs".into(),
+                src: user.to_string(),
+            },
+        ],
+        &cfg(),
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "message-totality"),
+        "a construction site alone must not satisfy totality: {findings:#?}"
+    );
+}
+
+// ---- suppression mechanics shared across rules ----
+
+#[test]
+fn multi_line_suppression_comment_applies() {
+    let src = "// lint: allow(determinism, this map is only ever used for\n\
+               // point lookups keyed by page number, iteration never\n\
+               // happens and order cannot leak into the schedule)\n\
+               use std::collections::HashMap;\n";
+    assert!(analyze_one("crates/core/src/protocol/foo.rs", src).is_empty());
+}
+
+#[test]
+fn suppression_for_one_rule_does_not_bleed_into_another() {
+    let src = "// lint: allow(panic-policy, wrong rule named here)\n\
+               use std::collections::HashMap;\n";
+    expect_hit(
+        &analyze_one("crates/core/src/protocol/foo.rs", src),
+        "determinism",
+        2,
+    );
+}
+
+#[test]
+fn suppression_window_is_bounded() {
+    let src = "// lint: allow(determinism, too far away to apply)\n\
+               \n\
+               \n\
+               \n\
+               use std::collections::HashMap;\n";
+    expect_hit(
+        &analyze_one("crates/core/src/protocol/foo.rs", src),
+        "determinism",
+        5,
+    );
+}
+
+#[test]
+fn findings_are_sorted_and_display_cleanly() {
+    let src = "use std::collections::HashSet;\n\
+               fn f(x: Option<u32>) { x.unwrap(); }\n";
+    let findings = analyze_one("crates/core/src/protocol/foo.rs", src);
+    assert_eq!(findings.len(), 2);
+    assert!(findings[0].line <= findings[1].line);
+    let shown = format!("{}", findings[0]);
+    assert!(shown.contains("crates/core/src/protocol/foo.rs:1"));
+    assert!(shown.contains("[determinism]"));
+    assert!(shown.contains("HashSet"));
+}

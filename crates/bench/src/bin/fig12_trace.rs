@@ -6,13 +6,11 @@
 use svm_core::{run, BarrierId, LockId, ProtocolName, SvmConfig};
 
 fn main() {
-    // SAFETY: set before any simulation thread starts; the trace flag is
-    // read once per process afterwards.
-    unsafe { std::env::set_var("SVM_TRACE", "1") };
     for protocol in ProtocolName::ALL {
         eprintln!("\n==== {protocol}: write(x) on n0; acquire+read(x) on n1; home = n2 ====");
         let mut cfg = SvmConfig::new(protocol, 3);
         cfg.home_policy = svm_core::HomePolicy::Explicit;
+        cfg.trace.debug_log = true;
         run(
             &cfg,
             |s| {

@@ -274,7 +274,15 @@ impl Message for SvmMsg {
             | SvmMsg::PageReply { .. }
             | SvmMsg::HomeReply { .. }
             | SvmMsg::DiffFlush { .. } => TrafficClass::Data,
-            _ => TrafficClass::Protocol,
+            SvmMsg::LockRequest { .. }
+            | SvmMsg::LockForward { .. }
+            | SvmMsg::LockGrant { .. }
+            | SvmMsg::BarrierArrive { .. }
+            | SvmMsg::BarrierRelease { .. }
+            | SvmMsg::DiffRequest { .. }
+            | SvmMsg::PageRequest { .. }
+            | SvmMsg::HomeRequest { .. }
+            | SvmMsg::DiffTask { .. } => TrafficClass::Protocol,
         }
     }
 }

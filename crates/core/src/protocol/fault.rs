@@ -79,6 +79,8 @@ impl SvmAgent {
             // Under AURC the hardware snoops writes; the simulator still
             // keeps a twin internally to reconstruct the propagated bytes,
             // but charges no time or protocol memory for it.
+            // INVARIANT: make_writable runs at the end of a validated fault, so the
+            // page buffer was installed before any write upgrade.
             st.twin = Some(st.buf.as_mut().expect("writable page has a copy").to_vec());
             if !auto_update {
                 self.counters[idx].mem.twins(ps as i64);
@@ -96,6 +98,8 @@ impl SvmAgent {
         let f = self.nodes_st[n.index()]
             .fault
             .take()
+            // INVARIANT: applications are synchronous; finish_fault is only reached
+            // from the reply path of the single outstanding fault.
             .expect("fault in progress");
         debug_assert!(self.nodes_st[n.index()].pages[f.page.0 as usize]
             .access
@@ -117,6 +121,7 @@ impl SvmAgent {
             // Cold (or post-GC) miss: fetch a base copy first.
             let validator = self.dir[page.0 as usize].validator;
             debug_assert_ne!(validator, n, "validator faulting on its own page");
+            // INVARIANT: the LRC fetch path runs inside the fault recorded by on_fault.
             self.nodes_st[idx].fault.as_mut().expect("fault").stage = FaultStage::AwaitPage;
             let to = self.data_proc(validator);
             self.send_or_local(ctx, to, SvmMsg::PageRequest { page, requester: n });
@@ -143,6 +148,7 @@ impl SvmAgent {
             self.validate_lrc_page(ctx, n, page, Vec::new());
             return;
         }
+        // INVARIANT: request_diffs runs inside the fault recorded by on_fault.
         self.nodes_st[idx].fault.as_mut().expect("fault").stage = FaultStage::AwaitDiffs {
             outstanding: needs.len() as u32,
             stash: Vec::new(),
@@ -268,7 +274,15 @@ impl SvmAgent {
         let overhead = ctx.cost().handler_overhead;
         ctx.work(overhead, Category::Protocol);
         let st = &mut self.nodes_st[v.index()].pages[page.0 as usize];
-        let buf = st.buf.as_mut().expect("validator must hold a copy");
+        // Reachable in principle (a stale retransmission racing GC), so this
+        // is a structured halt rather than an invariant panic.
+        let Some(buf) = st.buf.as_mut() else {
+            self.protocol_error(
+                ctx,
+                crate::protocol::ProtocolError::StalePageRequest { node: v, page },
+            );
+            return;
+        };
         let data = buf.to_vec();
         let applied = st.applied.to_vec();
         self.send_or_local(
@@ -303,6 +317,8 @@ impl SvmAgent {
             st.seen.merge_max(&applied);
         }
         debug_assert!(matches!(
+            // INVARIANT: a PageReply only arrives for the outstanding fault that
+            // sent the PageRequest.
             self.nodes_st[idx].fault.as_ref().expect("fault").stage,
             FaultStage::AwaitPage
         ));
@@ -342,9 +358,13 @@ impl SvmAgent {
         };
         if done {
             let FaultStage::AwaitDiffs { stash, .. } = std::mem::replace(
+                // INVARIANT: the AwaitDiffs stage was just observed above; the fault is
+                // still outstanding.
                 &mut self.nodes_st[idx].fault.as_mut().expect("fault").stage,
                 FaultStage::AwaitHome,
             ) else {
+                // INVARIANT: the stage was AwaitDiffs on entry and nothing since
+                // replaced it.
                 unreachable!()
             };
             self.validate_lrc_page(ctx, r, page, stash);
@@ -371,6 +391,8 @@ impl SvmAgent {
             let skip_apply = self.bug_skip_diff_apply();
             let st = &mut self.nodes_st[idx].pages[page.0 as usize];
             if !skip_apply {
+                // INVARIANT: start_lrc_fetch fetched a base copy before
+                // diff collection began.
                 // SAFETY: kernel phase; app threads parked.
                 pkt.diff
                     .apply(unsafe { st.buf.as_ref().expect("base copy present").bytes_mut() });
@@ -412,6 +434,8 @@ pub fn causal_sort(packets: &mut Vec<DiffPacket>) {
                 }
             });
         }
+        // INVARIANT: vector-time ordering is a strict partial order, so a
+        // non-empty set always has a minimal element.
         let pick = best.expect("happens-before is acyclic");
         packets.push(rest.remove(pick));
     }

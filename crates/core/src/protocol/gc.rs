@@ -67,6 +67,8 @@ impl SvmAgent {
                         }
                     }
                 })
+                // INVARIANT: the page survived GC as live, so at least one writer
+                // interval is recorded.
                 .expect("live page has a writer")
                 .0;
 
@@ -113,6 +115,9 @@ impl SvmAgent {
                 for pkt in &missing {
                     cost[vidx] += ctx.cost().diff_apply(pkt.diff.payload_bytes());
                     let st = &mut self.nodes_st[vidx].pages[p as usize];
+                    // INVARIANT: the validator was elected among the page's
+                    // writers, and writers keep their copies until this GC
+                    // pass frees them below.
                     // SAFETY: kernel phase (barrier; all apps parked).
                     pkt.diff
                         .apply(unsafe { st.buf.as_ref().expect("writer has copy").bytes_mut() });
@@ -164,7 +169,7 @@ impl SvmAgent {
         // Free every diff store.
         for (i, node_cost) in cost.iter_mut().enumerate() {
             let mut freed_diffs = 0u64;
-            for (_, ds) in self.nodes_st[i].diff_store.drain() {
+            for (_, ds) in std::mem::take(&mut self.nodes_st[i].diff_store) {
                 freed_diffs += ds.len() as u64;
             }
             *node_cost += FREE_PER_DIFF * freed_diffs;

@@ -27,6 +27,7 @@ impl SvmAgent {
                 // until it lands (no message needed).
                 self.counters[idx].home_stalls += 1;
                 st.local_waiter = true;
+                // INVARIANT: this path runs inside the fault recorded by on_fault.
                 self.nodes_st[idx].fault.as_mut().expect("fault").stage =
                     FaultStage::AwaitHomeDiffs;
                 return;
@@ -84,6 +85,8 @@ impl SvmAgent {
         let data = st
             .buf
             .as_mut()
+            // INVARIANT: a home page materializes at first touch and the master
+            // copy is never dropped (homes are exempt from GC).
             .expect("home holds the master copy")
             .to_vec();
         let applied = st.applied.to_vec();
@@ -127,6 +130,8 @@ impl SvmAgent {
                 // SAFETY: kernel phase; app threads parked. The home's copy
                 // is the master; applying in place is the protocol (Section
                 // 2.3).
+                // INVARIANT: diffs are flushed to the page's home, whose master copy
+                // always exists.
                 diff.apply(unsafe { st.buf.as_ref().expect("home copy").bytes_mut() });
             }
             st.applied.raise(writer, interval);
@@ -157,6 +162,8 @@ impl SvmAgent {
                 self.nodes_st[idx]
                     .fault
                     .as_ref()
+                    // INVARIANT: wake_local is set only when a stalled local fault recorded
+                    // a waiter.
                     .expect("stalled fault")
                     .stage,
                 FaultStage::AwaitHomeDiffs
@@ -208,6 +215,8 @@ impl SvmAgent {
             st.access = Access::ReadOnly;
         }
         debug_assert!(matches!(
+            // INVARIANT: a HomeReply only arrives for the outstanding fault that
+            // sent the HomeRequest.
             self.nodes_st[idx].fault.as_ref().expect("fault").stage,
             FaultStage::AwaitHome
         ));

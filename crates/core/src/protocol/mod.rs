@@ -57,6 +57,14 @@ pub enum ProtocolError {
         /// The page of the stray reply.
         page: PageNum,
     },
+    /// A base-copy request reached a validator that no longer holds the
+    /// page (e.g. a stale retransmission racing garbage collection).
+    StalePageRequest {
+        /// The validator the request was addressed to.
+        node: NodeId,
+        /// The requested page.
+        page: PageNum,
+    },
 }
 
 impl ProtocolError {
@@ -65,7 +73,8 @@ impl ProtocolError {
         match self {
             ProtocolError::RecursiveLockAcquire { node, .. }
             | ProtocolError::MappingFailed { node, .. }
-            | ProtocolError::UnexpectedDiffReply { node, .. } => *node,
+            | ProtocolError::UnexpectedDiffReply { node, .. }
+            | ProtocolError::StalePageRequest { node, .. } => *node,
         }
     }
 }
@@ -83,6 +92,13 @@ impl std::fmt::Display for ProtocolError {
                 write!(
                     f,
                     "node {node:?}: diff reply for page {} outside diff collection",
+                    page.0
+                )
+            }
+            ProtocolError::StalePageRequest { node, page } => {
+                write!(
+                    f,
+                    "node {node:?}: page request for page {} but no copy is held",
                     page.0
                 )
             }
@@ -133,9 +149,9 @@ impl BarrierState {
 #[derive(Default)]
 pub struct LockSeqs {
     /// Next acquisition number per lock (first acquisition is 1).
-    pub next: std::collections::HashMap<u32, u64>,
+    pub next: std::collections::BTreeMap<u32, u64>,
     /// The acquisition number each node's currently-held lock entered with.
-    pub held: std::collections::HashMap<(u16, u32), u64>,
+    pub held: std::collections::BTreeMap<(u16, u32), u64>,
 }
 
 /// Occurrence counters driving the `nth`-occurrence [`SeededBug`]
@@ -167,7 +183,7 @@ pub struct SvmAgent {
     /// Global page directory (homes / validators).
     pub dir: Vec<DirEntry>,
     /// Lock manager state by lock id (lives at `lock % P`).
-    pub lock_mgr: std::collections::HashMap<u32, state::LockManagerState>,
+    pub lock_mgr: std::collections::BTreeMap<u32, state::LockManagerState>,
     /// Barrier manager state (node 0).
     pub barrier: BarrierState,
     /// Per-node protocol counters.
@@ -247,7 +263,7 @@ impl SvmAgent {
             counters: vec![NodeCounters::default(); nodes],
             barrier_marks: vec![Vec::new(); nodes],
             barrier: BarrierState::new(nodes),
-            lock_mgr: std::collections::HashMap::new(),
+            lock_mgr: std::collections::BTreeMap::new(),
             net: ReliableNet::new(&cfg.fault),
             errors: Vec::new(),
             recorders,
@@ -329,6 +345,8 @@ impl SvmAgent {
         let ptr = self.nodes_st[node.index()].pages[page.0 as usize]
             .buf
             .as_ref()
+            // INVARIANT: install_mapping runs only after the fault path validated
+            // or installed this node's copy.
             .expect("mapping a page without a copy")
             .as_ptr();
         // SAFETY: handlers run in kernel phases; every application thread is
@@ -382,6 +400,8 @@ impl SvmAgent {
         self.lock_seqs
             .held
             .remove(&(node.0, lock))
+            // INVARIANT: grants record the acquisition before the app resumes, and
+            // only the holder issues the release.
             .expect("release of a lock with no recorded acquisition")
     }
 

@@ -20,7 +20,7 @@
 //! recovered by the sender's retransmission, which the receiver answers
 //! with a fresh cumulative ack.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use svm_machine::{Category, Message, ProcAddr, TrafficClass};
 use svm_sim::{EventId, SimDuration};
@@ -117,8 +117,8 @@ pub struct ReliableNet {
     drop_first: Option<&'static str>,
     /// Send channels, indexed densely so timer tokens can address them.
     chans: Vec<SendChannel>,
-    index: HashMap<(ProcAddr, ProcAddr), usize>,
-    recv: HashMap<(ProcAddr, ProcAddr), RecvChannel>,
+    index: BTreeMap<(ProcAddr, ProcAddr), usize>,
+    recv: BTreeMap<(ProcAddr, ProcAddr), RecvChannel>,
     /// Every retransmission, in event order.
     pub trace: Vec<RetransmitEvent>,
 }
@@ -132,8 +132,8 @@ impl ReliableNet {
             backoff_cap: profile.backoff_cap,
             drop_first: profile.drop_first_kind,
             chans: Vec::new(),
-            index: HashMap::new(),
-            recv: HashMap::new(),
+            index: BTreeMap::new(),
+            recv: BTreeMap::new(),
             trace: Vec::new(),
         }
     }

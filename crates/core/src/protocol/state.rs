@@ -1,6 +1,6 @@
 //! Per-node and per-page protocol state.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use svm_machine::NodeId;
@@ -185,9 +185,9 @@ pub struct ProtoNode {
     /// truncated at barriers.
     pub log: BTreeMap<(u16, u32), Rc<IntervalRec>>,
     /// Homeless diff store: page -> diffs by ascending interval.
-    pub diff_store: HashMap<u32, Vec<StoredDiff>>,
+    pub diff_store: BTreeMap<u32, Vec<StoredDiff>>,
     /// Lock state by lock id.
-    pub locks: HashMap<u32, LockNodeState>,
+    pub locks: BTreeMap<u32, LockNodeState>,
     /// Outstanding page fault, if any (applications are synchronous).
     pub fault: Option<FaultProgress>,
     /// The merged vector time of the last barrier (log-truncation point and
@@ -199,7 +199,7 @@ pub struct ProtoNode {
     pub parked_diff_requests: Vec<(PageNum, NodeId, NodeId, u32, u32)>,
     /// Overlapped: `(page, interval)` diffs posted to the co-processor but
     /// not yet computed (guards the diff store against early requests).
-    pub pending_diffs: std::collections::HashSet<(u32, u32)>,
+    pub pending_diffs: BTreeSet<(u32, u32)>,
 }
 
 impl ProtoNode {
@@ -210,12 +210,12 @@ impl ProtoNode {
             dirty: Vec::new(),
             pages: (0..num_pages).map(|_| PageState::cold()).collect(),
             log: BTreeMap::new(),
-            diff_store: HashMap::new(),
-            locks: HashMap::new(),
+            diff_store: BTreeMap::new(),
+            locks: BTreeMap::new(),
             fault: None,
             last_barrier_vt: VectorTime::zero(nodes),
             parked_diff_requests: Vec::new(),
-            pending_diffs: std::collections::HashSet::new(),
+            pending_diffs: BTreeSet::new(),
         }
     }
 

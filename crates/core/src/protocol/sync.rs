@@ -89,6 +89,7 @@ impl SvmAgent {
         let overhead = ctx.cost().handler_overhead;
         ctx.work(overhead, Category::Protocol);
         self.ensure_lock(l);
+        // INVARIANT: ensure_lock on the preceding line inserted the entry.
         let entry = self.lock_mgr.get_mut(&l.0).expect("ensured");
         let prev = entry.tail;
         entry.tail = requester;
@@ -326,6 +327,7 @@ impl SvmAgent {
             .into_iter()
             .enumerate()
             .map(|(i, vt)| {
+                // INVARIANT: the barrier releases only after every arrival slot filled.
                 let node_vt = vt.expect("all nodes arrived");
                 let r = NodeId(i as u16);
                 let records: Vec<_> = self

@@ -20,7 +20,7 @@ use crate::trace::AccessTrace;
 pub struct Setup {
     heap: GlobalHeap,
     golden: Vec<u8>,
-    homes: std::collections::HashMap<u32, NodeId>,
+    homes: std::collections::BTreeMap<u32, NodeId>,
     nodes: usize,
 }
 
@@ -29,7 +29,7 @@ impl Setup {
         Setup {
             heap: GlobalHeap::new(geometry),
             golden: Vec::new(),
-            homes: std::collections::HashMap::new(),
+            homes: std::collections::BTreeMap::new(),
             nodes,
         }
     }

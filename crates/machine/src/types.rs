@@ -26,7 +26,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Which processor on a node.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ProcKind {
     /// The compute processor: runs the application; message service is
     /// interrupt-driven and preempts computation.
@@ -37,7 +37,7 @@ pub enum ProcKind {
 }
 
 /// A processor address: where a message is delivered and serviced.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcAddr {
     /// The node.
     pub node: NodeId,

@@ -7,7 +7,7 @@
 //! implemented as a tombstone set consulted at pop time.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -67,7 +67,7 @@ pub struct Scheduler<W> {
     now: SimTime,
     next_seq: u64,
     queue: BinaryHeap<Entry<W>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     executed: u64,
 }
 
@@ -84,7 +84,7 @@ impl<W> Scheduler<W> {
             now: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             executed: 0,
         }
     }

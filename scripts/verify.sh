@@ -2,8 +2,18 @@
 # Tier-1 verification, hermetically: the workspace must build and test
 # with networking denied so a reintroduced registry dependency fails fast
 # instead of passing on a warm cache.
+#
+# Usage: verify.sh [--fast]
+#   --fast skips the example/bench compiles and the chaos matrix, but
+#   always keeps the static analyzer and the consistency-check subset —
+#   the cheap gates that catch whole bug classes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
 
 export CARGO_NET_OFFLINE=true
 
@@ -16,17 +26,24 @@ cargo test -q
 echo "== workspace tests (offline)"
 cargo test -q --workspace
 
-echo "== examples compile (offline)"
-cargo build --examples
+if [[ "$FAST" -eq 0 ]]; then
+  echo "== examples compile (offline)"
+  cargo build --examples
 
-echo "== benches compile (offline)"
-cargo build --benches
+  echo "== benches compile (offline)"
+  cargo build --benches
+fi
 
 echo "== clippy, warnings denied (offline)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== fault-injection smoke matrix (drop rates 0 / 0.1% / 1%)"
-cargo run --release -p svm-bench --bin chaos -- --scale 0.03 --nodes 4 --drop 0,0.001,0.01
+echo "== static analysis (svm-analyzer: determinism, unsafe-audit, panic-policy, message-totality)"
+cargo run --release -p svm-bench --bin analyze
+
+if [[ "$FAST" -eq 0 ]]; then
+  echo "== fault-injection smoke matrix (drop rates 0 / 0.1% / 1%)"
+  cargo run --release -p svm-bench --bin chaos -- --scale 0.03 --nodes 4 --drop 0,0.001,0.01
+fi
 
 echo "== consistency check matrix (record -> svm-checker, fast subset)"
 cargo run --release -p svm-bench --bin check -- --fast
