@@ -34,10 +34,7 @@ impl Config {
                 "crates/sim".into(),
                 "crates/machine".into(),
             ],
-            wallclock_exempt_paths: vec![
-                "crates/testkit".into(),
-                "crates/analyzer".into(),
-            ],
+            wallclock_exempt_paths: vec!["crates/testkit".into(), "crates/analyzer".into()],
             panic_paths: vec!["crates/core/src/protocol/".into()],
             totality_enums: vec!["SvmReq".into(), "SvmMsg".into(), "Wire".into()],
             totality_match_paths: vec!["crates/core/src".into()],

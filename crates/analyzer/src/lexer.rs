@@ -105,7 +105,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     }
                     c.bump();
                 }
-                push(&mut out, TokKind::LineComment, src, start, c.pos, line, line);
+                push(
+                    &mut out,
+                    TokKind::LineComment,
+                    src,
+                    start,
+                    c.pos,
+                    line,
+                    line,
+                );
             }
             b'/' if c.peek(1) == Some(b'*') => {
                 c.bump();
@@ -153,7 +161,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     Some(b'\\') => {
                         c.bump(); // backslash
                         c.bump(); // escaped char
-                        // Consume up to the closing quote (covers \u{..}).
+                                  // Consume up to the closing quote (covers \u{..}).
                         while let Some(b) = c.peek(0) {
                             c.bump();
                             if b == b'\'' {
@@ -205,7 +213,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     && raw_string_follows(&c);
                 if raw {
                     lex_raw_string(&mut c);
-                    push(&mut out, TokKind::RawStrLit, src, start, c.pos, line, c.line);
+                    push(
+                        &mut out,
+                        TokKind::RawStrLit,
+                        src,
+                        start,
+                        c.pos,
+                        line,
+                        c.line,
+                    );
                 } else if ident == "b" && next == Some(b'"') {
                     c.bump();
                     lex_string(&mut c);
@@ -391,7 +407,9 @@ mod tests {
     #[test]
     fn char_vs_lifetime() {
         let toks = kinds("let c = 'a'; fn f<'a>(x: &'a str) {}");
-        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'a'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == "'a'"));
         assert_eq!(
             toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
             2

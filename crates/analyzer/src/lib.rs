@@ -59,7 +59,11 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
         write!(f, "    {}", self.excerpt)
     }
 }

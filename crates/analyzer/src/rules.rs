@@ -51,14 +51,15 @@ impl FileCtx {
     /// Comments that can annotate a site at `line`: trailing on the same
     /// line, or ending within [`WINDOW`] lines above it.
     fn annotating_comments(&self, line: u32) -> impl Iterator<Item = &Tok> {
-        self.comments.iter().filter(move |c| {
-            c.line == line || (c.end_line < line && c.end_line + WINDOW >= line)
-        })
+        self.comments
+            .iter()
+            .filter(move |c| c.line == line || (c.end_line < line && c.end_line + WINDOW >= line))
     }
 
     /// Is a domain marker (e.g. `SAFETY:`) present in the window?
     fn has_marker(&self, line: u32, marker: &str) -> bool {
-        self.annotating_comments(line).any(|c| c.text.contains(marker))
+        self.annotating_comments(line)
+            .any(|c| c.text.contains(marker))
     }
 
     /// Is the site suppressed with `lint: allow(<rule>, <reason>)`?
@@ -144,9 +145,8 @@ pub fn run(files: &[SourceSpec], cfg: &Config) -> Vec<Finding> {
         catch_all_arms(ctx, cfg, &mut findings);
     }
     totality(&ctxs, cfg, &mut findings);
-    findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
 }
 
@@ -157,9 +157,21 @@ fn determinism(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
     let banned_types: [&str; 2] = ["HashMap", "HashSet"];
     // (qualifier, member) pairs matched as `qualifier::member`.
     let banned_calls: [(&str, &str, &str); 3] = [
-        ("Instant", "now", "wall-clock reads break virtual-time reproducibility"),
-        ("thread", "sleep", "real sleeping has no meaning in virtual time"),
-        ("process", "id", "host process identity leaks into simulated state"),
+        (
+            "Instant",
+            "now",
+            "wall-clock reads break virtual-time reproducibility",
+        ),
+        (
+            "thread",
+            "sleep",
+            "real sleeping has no meaning in virtual time",
+        ),
+        (
+            "process",
+            "id",
+            "host process identity leaks into simulated state",
+        ),
     ];
     let sig = &ctx.sig;
     for i in 0..sig.len() {
@@ -185,12 +197,14 @@ fn determinism(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
             continue;
         }
         if t.text == "SystemTime" && !ctx.allowed(t.line, RULE) {
-            out.push(ctx.finding(
-                RULE,
-                t.line,
-                "SystemTime reads wall-clock time; simulated code must use virtual time"
-                    .to_string(),
-            ));
+            out.push(
+                ctx.finding(
+                    RULE,
+                    t.line,
+                    "SystemTime reads wall-clock time; simulated code must use virtual time"
+                        .to_string(),
+                ),
+            );
             continue;
         }
         for (qual, member, why) in banned_calls {
@@ -381,7 +395,9 @@ fn enum_defs(sig: &[Tok], watched: &[String]) -> Vec<(u32, String, Vec<String>)>
             i += 1;
             continue;
         }
-        let Some(name_tok) = sig.get(i + 1) else { break };
+        let Some(name_tok) = sig.get(i + 1) else {
+            break;
+        };
         if name_tok.kind != TokKind::Ident || !watched.contains(&name_tok.text) {
             i += 1;
             continue;
@@ -491,13 +507,15 @@ fn catch_all_arms(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
                     let arrow = is_punct(body.get(k + 1), "=") && is_punct(body.get(k + 2), ">");
                     let guard = is_ident(body.get(k + 1), "if");
                     if (arrow || guard) && !ctx.allowed(body[k].line, RULE) {
-                        out.push(ctx.finding(
-                            RULE,
-                            body[k].line,
-                            "catch-all arm in a match over a protocol message enum; \
+                        out.push(
+                            ctx.finding(
+                                RULE,
+                                body[k].line,
+                                "catch-all arm in a match over a protocol message enum; \
                              enumerate the variants so new kinds fail loudly"
-                                .to_string(),
-                        ));
+                                    .to_string(),
+                            ),
+                        );
                     }
                 }
                 _ => {}

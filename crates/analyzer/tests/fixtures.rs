@@ -178,21 +178,17 @@ fn totality_flags_unmatched_variant_and_catch_all() {
     );
     // Ack never appears in a match arm: flagged at the enum definition.
     assert!(
-        findings
-            .iter()
-            .any(|f| f.rule == "message-totality"
-                && f.file == "crates/core/src/msg.rs"
-                && f.line == 1
-                && f.message.contains("Ack")),
+        findings.iter().any(|f| f.rule == "message-totality"
+            && f.file == "crates/core/src/msg.rs"
+            && f.line == 1
+            && f.message.contains("Ack")),
         "missing-variant finding absent: {findings:#?}"
     );
     // And the `_ =>` arm is flagged where it swallows Wire.
     assert!(
-        findings
-            .iter()
-            .any(|f| f.rule == "message-totality"
-                && f.file == "crates/core/src/protocol/foo.rs"
-                && f.line == 5),
+        findings.iter().any(|f| f.rule == "message-totality"
+            && f.file == "crates/core/src/protocol/foo.rs"
+            && f.line == 5),
         "catch-all finding absent: {findings:#?}"
     );
 }

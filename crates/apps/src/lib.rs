@@ -50,7 +50,11 @@ pub struct AppRun {
 }
 
 /// A runnable workload instance for the evaluation harness.
-pub trait Benchmark {
+///
+/// `Send + Sync` so the parallel experiment driver (`svm-bench`) can share
+/// instances across worker threads; implementations are plain configuration
+/// structs, and each [`Benchmark::run`] builds its own isolated simulation.
+pub trait Benchmark: Send + Sync {
     /// Display name as used in the paper's tables.
     fn name(&self) -> &'static str;
     /// Calibrated sequential execution time in seconds at this instance's

@@ -97,5 +97,8 @@ fn zero_rate_profile_leaves_sor_output_and_time_untouched() {
         base.report.outcome.total_time, zeroed.report.outcome.total_time,
         "zeroed fault profile changed virtual time"
     );
-    assert_eq!(base.report.outcome.breakdowns, zeroed.report.outcome.breakdowns);
+    assert_eq!(
+        base.report.outcome.breakdowns,
+        zeroed.report.outcome.breakdowns
+    );
 }

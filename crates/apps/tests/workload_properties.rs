@@ -38,12 +38,9 @@ fn sor_random_geometry_matches_sequential() {
             let want = sor.expected_checksum();
             let run = sor.run(&SvmConfig::new(*protocol, *nodes));
             assert_eq!(
-                run.checksum,
-                want,
+                run.checksum, want,
                 "SOR {}x{}x{} under {protocol} x{nodes} diverged from sequential",
-                sor.rows,
-                sor.cols,
-                sor.iters
+                sor.rows, sor.cols, sor.iters
             );
             assert!(run.report.secs() > 0.0);
         },

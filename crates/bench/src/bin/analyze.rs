@@ -21,7 +21,9 @@ fn main() -> ExitCode {
         }
     };
     if findings.is_empty() {
-        println!("analyze: workspace clean (determinism, unsafe-audit, panic-policy, message-totality)");
+        println!(
+            "analyze: workspace clean (determinism, unsafe-audit, panic-policy, message-totality)"
+        );
         return ExitCode::SUCCESS;
     }
     for f in &findings {

@@ -12,7 +12,7 @@
 use svm_apps::{
     lu::Lu, raytrace::Raytrace, sor::Sor, water_ns::WaterNsq, water_sp::WaterSp, Benchmark,
 };
-use svm_bench::Table;
+use svm_bench::{parallel, Table};
 use svm_core::{FaultProfile, ProtocolName, SvmConfig};
 
 struct Opts {
@@ -105,36 +105,48 @@ fn main() {
         "net-dup'd",
         "time(s)",
     ]);
-    let mut failures = 0usize;
-    for bench in verified_suite(opts.scale) {
-        let want = bench.expected_checksum();
+    // Canonical cell order (app x protocol x rate); the parallel driver
+    // returns results in this same order, so the table is byte-identical
+    // to the old serial loop.
+    let suite = verified_suite(opts.scale);
+    let mut jobs: Vec<(usize, ProtocolName, f64)> = Vec::new();
+    for bi in 0..suite.len() {
         for protocol in ProtocolName::ALL {
             for &rate in &opts.drops {
-                let mut cfg = SvmConfig::new(protocol, opts.nodes);
-                cfg.fault = FaultProfile::chaos(opts.seed, rate);
-                let run = bench.run(&cfg);
-                let ok = run.checksum == want && run.report.errors.is_empty();
-                if !ok {
-                    failures += 1;
-                }
-                let nf = &run.report.outcome.net_faults;
-                t.row(vec![
-                    bench.name().to_string(),
-                    protocol.label().to_string(),
-                    format!("{rate}"),
-                    if ok { "yes".into() } else { "FAIL".into() },
-                    run.report.counters.total(|c| c.retransmissions).to_string(),
-                    run.report
-                        .counters
-                        .total(|c| c.retransmit_timeouts)
-                        .to_string(),
-                    run.report.counters.total(|c| c.dup_suppressed).to_string(),
-                    nf.dropped.to_string(),
-                    nf.duplicated.to_string(),
-                    format!("{:.3}", run.report.secs()),
-                ]);
+                jobs.push((bi, protocol, rate));
             }
         }
+    }
+    let runs = parallel::run_ordered(jobs.len(), parallel::workers(jobs.len()), |i| {
+        let (bi, protocol, rate) = jobs[i];
+        let mut cfg = SvmConfig::new(protocol, opts.nodes);
+        cfg.fault = FaultProfile::chaos(opts.seed, rate);
+        suite[bi].run(&cfg)
+    });
+
+    let mut failures = 0usize;
+    for ((bi, protocol, rate), run) in jobs.iter().zip(&runs) {
+        let bench = &suite[*bi];
+        let ok = run.checksum == bench.expected_checksum() && run.report.errors.is_empty();
+        if !ok {
+            failures += 1;
+        }
+        let nf = &run.report.outcome.net_faults;
+        t.row(vec![
+            bench.name().to_string(),
+            protocol.label().to_string(),
+            format!("{rate}"),
+            if ok { "yes".into() } else { "FAIL".into() },
+            run.report.counters.total(|c| c.retransmissions).to_string(),
+            run.report
+                .counters
+                .total(|c| c.retransmit_timeouts)
+                .to_string(),
+            run.report.counters.total(|c| c.dup_suppressed).to_string(),
+            nf.dropped.to_string(),
+            nf.duplicated.to_string(),
+            format!("{:.3}", run.report.secs()),
+        ]);
     }
     t.print();
     if failures > 0 {

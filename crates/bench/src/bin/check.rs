@@ -22,7 +22,7 @@
 use svm_apps::{
     lu::Lu, raytrace::Raytrace, sor::Sor, water_ns::WaterNsq, water_sp::WaterSp, Benchmark,
 };
-use svm_bench::Table;
+use svm_bench::{parallel, Table};
 use svm_checker::selftest::run_selftests;
 use svm_checker::{check_trace, CheckReport};
 use svm_core::{FaultProfile, ProtocolName, SvmConfig, TraceConfig};
@@ -114,10 +114,22 @@ fn main() {
         "trace",
         "verdict",
     ]);
-    for bench in suite(opts.scale, opts.fast) {
+    // Record-and-check every (app x protocol) cell on the parallel driver;
+    // results come back in the canonical order, so output is unchanged.
+    let suite = suite(opts.scale, opts.fast);
+    let mut jobs: Vec<(usize, ProtocolName)> = Vec::new();
+    for bi in 0..suite.len() {
         for protocol in ProtocolName::ALL {
-            let cfg = SvmConfig::new(protocol, opts.nodes);
-            let (r, bytes) = record_check(bench.as_ref(), &cfg);
+            jobs.push((bi, protocol));
+        }
+    }
+    let checks = parallel::run_ordered(jobs.len(), parallel::workers(jobs.len()), |i| {
+        let (bi, protocol) = jobs[i];
+        record_check(suite[bi].as_ref(), &SvmConfig::new(protocol, opts.nodes))
+    });
+    for ((bi, protocol), (r, bytes)) in jobs.iter().zip(&checks) {
+        {
+            let (bench, protocol, bytes) = (&suite[*bi], *protocol, *bytes);
             let pass = r.coherent();
             if !pass {
                 failures += 1;
@@ -145,12 +157,15 @@ fn main() {
     println!("\nFaulted runs (SOR, chaos profile, drop rate 0.002, 4 nodes):\n");
     let mut t = Table::new(&["Protocol", "retx", "racy", "ww", "viol", "verdict"]);
     let sor = Sor::scaled(opts.scale);
-    for protocol in ProtocolName::ALL {
-        let mut cfg = SvmConfig::new(protocol, 4);
+    let faulted = parallel::run_ordered(ProtocolName::ALL.len(), parallel::workers(4), |i| {
+        let mut cfg = SvmConfig::new(ProtocolName::ALL[i], 4);
         cfg.fault = FaultProfile::chaos(opts.seed, 0.002);
         cfg.trace = TraceConfig::recording();
         let run = sor.run(&cfg);
         let r = check_trace(run.report.trace.as_ref().expect("recording enabled"));
+        (run, r)
+    });
+    for (protocol, (run, r)) in ProtocolName::ALL.into_iter().zip(&faulted) {
         let pass = r.coherent() && run.report.errors.is_empty();
         if !pass {
             failures += 1;

@@ -4,7 +4,7 @@
 
 use svm_apps::water_ns::WaterNsq;
 use svm_apps::Benchmark;
-use svm_bench::{Options, Table};
+use svm_bench::{parallel, Options, Table};
 use svm_core::{ProtocolName, SvmConfig};
 use svm_machine::Category;
 
@@ -14,10 +14,23 @@ fn main() {
     let mut w = WaterNsq::scaled(opts.scale);
     w.steps = 4;
 
+    // Compute every (nodes x protocol) cell on the parallel driver, then
+    // print in the canonical order — identical output to the serial loop.
+    let mut jobs: Vec<(usize, ProtocolName)> = Vec::new();
     for &nodes in &opts.nodes {
         for protocol in [ProtocolName::Lrc, ProtocolName::Hlrc] {
-            eprintln!("running Water-Nsquared under {protocol} x{nodes}...");
-            let run = w.run(&SvmConfig::new(protocol, nodes));
+            jobs.push((nodes, protocol));
+        }
+    }
+    let runs = parallel::run_ordered(jobs.len(), parallel::workers(jobs.len()), |i| {
+        let (nodes, protocol) = jobs[i];
+        eprintln!("running Water-Nsquared under {protocol} x{nodes}...");
+        w.run(&SvmConfig::new(protocol, nodes))
+    });
+
+    for ((nodes, protocol), run) in jobs.iter().zip(&runs) {
+        let (nodes, protocol) = (*nodes, *protocol);
+        {
             let marks = &run.report.counters.barrier_marks;
             let lo = 9.min(marks[0].len() - 2);
             let hi = lo + 1;

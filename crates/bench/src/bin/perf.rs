@@ -1,0 +1,382 @@
+//! The perf baseline: run a fixed matrix and record `BENCH_svm.json`.
+//!
+//! Three stages, each wall-clock timed ([`svm_testkit::bench::Stopwatch`])
+//! with allocation counters as the peak-RSS proxy
+//! ([`svm_testkit::alloc::CountingAlloc`] is this binary's global
+//! allocator):
+//!
+//! 1. **micro** — `svm_testkit::bench::Harness` medians for the simulator
+//!    hot paths: `Diff::create`/`apply`/`merge` and `PageBuf`
+//!    construction, in ns/op.
+//! 2. **sweep_serial** — the fixed app x protocol x nodes matrix on one
+//!    thread.
+//! 3. **sweep_parallel** — the same matrix on the parallel experiment
+//!    driver. Every per-run virtual-time result must be *byte-identical*
+//!    to the serial stage (the run exits nonzero if not), which is the
+//!    determinism claim of DESIGN.md §13 checked on every invocation.
+//!
+//! Usage: `perf [--fast] [--threads N] [--out PATH] [--check PATH]`
+//!
+//! * `--fast` shrinks the matrix for CI smoke use (`scripts/verify.sh`).
+//! * `--threads` forces the parallel stage's worker count (default: the
+//!   machine's parallelism, but at least 4 so the threaded path is
+//!   exercised even on small CI boxes).
+//! * `--out` sets the output path (default `BENCH_svm.json`).
+//! * `--check` validates an existing baseline file instead of running:
+//!   exit 0 iff it parses and has the expected shape.
+
+use svm_bench::json::{self, Json};
+use svm_bench::{parallel, run_sweep_serial, run_sweep_with, Options, Record};
+use svm_core::ProtocolName;
+use svm_mem::{Diff, PageBuf};
+use svm_testkit::alloc as talloc;
+use svm_testkit::bench::{black_box, Harness, Stopwatch};
+
+#[global_allocator]
+static ALLOC: talloc::CountingAlloc = talloc::CountingAlloc::new();
+
+const SCHEMA: &str = "svm-perf-v1";
+const PAGE: usize = 8192;
+
+struct Opts {
+    fast: bool,
+    threads: Option<usize>,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts {
+        fast: false,
+        threads: None,
+        out: "BENCH_svm.json".to_string(),
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => o.fast = true,
+            "--threads" => {
+                i += 1;
+                o.threads = Some(args[i].parse().expect("--threads takes a count"));
+            }
+            "--out" => {
+                i += 1;
+                o.out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                o.check = Some(args[i].clone());
+            }
+            other => panic!("unknown option {other} (try --fast/--threads/--out/--check)"),
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Validate a baseline file's shape; returns every problem found.
+fn validate(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut need = |ok: bool, what: &str| {
+        if !ok {
+            problems.push(what.to_string());
+        }
+    };
+    need(
+        doc.get("schema").and_then(Json::as_str) == Some(SCHEMA),
+        "schema must be \"svm-perf-v1\"",
+    );
+    need(
+        doc.get("cores")
+            .and_then(Json::as_num)
+            .is_some_and(|c| c >= 1.0),
+        "cores must be a number >= 1",
+    );
+    need(
+        doc.get("identical") == Some(&Json::Bool(true)),
+        "identical must be true (parallel sweep matched serial)",
+    );
+    need(
+        doc.get("alloc")
+            .and_then(|a| a.get("peak_live_bytes"))
+            .and_then(Json::as_num)
+            .is_some(),
+        "alloc.peak_live_bytes must be a number",
+    );
+    match doc.get("stages") {
+        Some(Json::Arr(stages)) if !stages.is_empty() => {
+            for s in stages {
+                need(
+                    s.get("name").and_then(Json::as_str).is_some()
+                        && s.get("wall_ms").and_then(Json::as_num).is_some(),
+                    "every stage needs a name and a wall_ms number",
+                );
+            }
+        }
+        _ => need(false, "stages must be a non-empty array"),
+    }
+    problems
+}
+
+fn check_file(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf --check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf --check: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let problems = validate(&doc);
+    if problems.is_empty() {
+        println!("perf --check: {path} OK");
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("perf --check: {path}: {p}");
+    }
+    std::process::exit(1);
+}
+
+/// The fixed sweep matrix for the baseline.
+fn matrix(fast: bool) -> Options {
+    if fast {
+        Options {
+            scale: 0.03,
+            nodes: vec![4],
+            protocols: ProtocolName::ALL.to_vec(),
+            apps: vec!["sor".into(), "lu".into()],
+        }
+    } else {
+        Options {
+            scale: 0.1,
+            nodes: vec![4, 8],
+            protocols: ProtocolName::ALL.to_vec(),
+            apps: Vec::new(),
+        }
+    }
+}
+
+/// Everything that must be bit-identical between the serial and parallel
+/// sweeps, per run, in order.
+fn fingerprint(records: &[Record]) -> Vec<(String, u64, u64, u64, u64, u64)> {
+    records
+        .iter()
+        .map(|r| {
+            let traffic = r.run.report.outcome.traffic.grand_total();
+            (
+                format!("{}/{}/{}", r.app, r.protocol.label(), r.nodes),
+                r.run.report.outcome.total_time.as_nanos(),
+                r.run.report.outcome.events_executed,
+                traffic.messages,
+                traffic.bytes,
+                r.run.checksum,
+            )
+        })
+        .collect()
+}
+
+fn micro_benches() -> Vec<(&'static str, f64)> {
+    let mut h = Harness::new(None);
+    let mut out = Vec::new();
+
+    let twin: Vec<u8> = (0..PAGE).map(|i| (i % 251) as u8).collect();
+    let mut sparse = twin.clone();
+    for off in [0usize, 256, 260, 1024, 4096, 4100, 8000, PAGE - 4] {
+        sparse[off] ^= 0x5A;
+    }
+    let full: Vec<u8> = twin.iter().map(|b| b.wrapping_add(1)).collect();
+
+    if let Some(ns) = h.bench("diff/create_sparse_8k", || Diff::create(&twin, &sparse)) {
+        out.push(("diff/create_sparse_8k", ns));
+    }
+    if let Some(ns) = h.bench("diff/create_clean_8k", || Diff::create(&twin, &twin)) {
+        out.push(("diff/create_clean_8k", ns));
+    }
+    if let Some(ns) = h.bench("diff/create_full_8k", || Diff::create(&twin, &full)) {
+        out.push(("diff/create_full_8k", ns));
+    }
+    let sparse_diff = Diff::create(&twin, &sparse);
+    let mut target = twin.clone();
+    if let Some(ns) = h.bench("diff/apply_sparse_8k", || {
+        sparse_diff.apply(black_box(&mut target))
+    }) {
+        out.push(("diff/apply_sparse_8k", ns));
+    }
+    let mut shifted = twin.clone();
+    for off in [512usize, 516, 2048] {
+        shifted[off] ^= 0x3C;
+    }
+    let other_diff = Diff::create(&twin, &shifted);
+    if let Some(ns) = h.bench("diff/merge_sparse_8k", || {
+        sparse_diff.merge(&other_diff, PAGE)
+    }) {
+        out.push(("diff/merge_sparse_8k", ns));
+    }
+    if let Some(ns) = h.bench("page/new_zeroed_8k", || PageBuf::new_zeroed(PAGE)) {
+        out.push(("page/new_zeroed_8k", ns));
+    }
+    if let Some(ns) = h.bench("page/from_slice_8k", || PageBuf::from_slice(&twin)) {
+        out.push(("page/from_slice_8k", ns));
+    }
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(path) = &opts.check {
+        check_file(path);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let m = matrix(opts.fast);
+    let cells = m.suite().len() * m.nodes.len() * m.protocols.len();
+    // Exercise the threaded driver even on small boxes: oversubscription
+    // is harmless (independent seeded runs), and determinism is the point.
+    let threads = opts
+        .threads
+        .unwrap_or_else(|| parallel::workers(cells).max(4));
+
+    eprintln!(
+        "perf baseline: {} matrix, {cells} cells, {threads} threads on {cores} cores",
+        if opts.fast { "fast" } else { "full" }
+    );
+
+    // Stage 1: micro-benches.
+    talloc::reset_peak();
+    let sw = Stopwatch::start();
+    let micro = micro_benches();
+    let micro_ms = sw.elapsed_ms();
+    let micro_peak = talloc::stats().peak_live_bytes;
+
+    // Stage 2: serial sweep.
+    talloc::reset_peak();
+    let sw = Stopwatch::start();
+    let serial = run_sweep_serial(&m);
+    let serial_ms = sw.elapsed_ms();
+    let serial_peak = talloc::stats().peak_live_bytes;
+    let events: u64 = serial
+        .iter()
+        .map(|r| r.run.report.outcome.events_executed)
+        .sum();
+
+    // Stage 3: parallel sweep, same matrix.
+    talloc::reset_peak();
+    let sw = Stopwatch::start();
+    let par = run_sweep_with(&m, threads);
+    let par_ms = sw.elapsed_ms();
+    let par_peak = talloc::stats().peak_live_bytes;
+
+    // The determinism gate: every run bit-identical, in order.
+    let fp_serial = fingerprint(&serial);
+    let fp_par = fingerprint(&par);
+    let identical = fp_serial == fp_par;
+    if !identical {
+        for (a, b) in fp_serial.iter().zip(&fp_par) {
+            if a != b {
+                eprintln!("MISMATCH serial {a:?} != parallel {b:?}");
+            }
+        }
+    }
+
+    let speedup = serial_ms / par_ms.max(1e-9);
+    let stage = |name: &str, wall_ms: f64, peak: u64, runs: Option<usize>| {
+        let mut fields = vec![
+            ("name", Json::str(name)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("peak_live_bytes", Json::int(peak)),
+        ];
+        if let Some(n) = runs {
+            fields.push(("runs", Json::int(n as u64)));
+            fields.push(("runs_per_sec", Json::Num(n as f64 / (wall_ms / 1e3))));
+            fields.push(("events_per_sec", Json::Num(events as f64 / (wall_ms / 1e3))));
+        }
+        Json::obj(fields)
+    };
+
+    let a = talloc::stats();
+    let doc = Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("generated_by", Json::str("svm-bench --bin perf")),
+        ("fast", Json::Bool(opts.fast)),
+        ("cores", Json::int(cores as u64)),
+        ("threads", Json::int(threads as u64)),
+        (
+            "matrix",
+            Json::obj([
+                ("scale", Json::Num(m.scale)),
+                (
+                    "nodes",
+                    Json::Arr(m.nodes.iter().map(|&n| Json::int(n as u64)).collect()),
+                ),
+                (
+                    "protocols",
+                    Json::Arr(m.protocols.iter().map(|p| Json::str(p.label())).collect()),
+                ),
+                ("cells", Json::int(cells as u64)),
+            ]),
+        ),
+        (
+            "micro_ns",
+            Json::Obj(
+                micro
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stages",
+            Json::Arr(vec![
+                stage("micro", micro_ms, micro_peak, None),
+                stage("sweep_serial", serial_ms, serial_peak, Some(cells)),
+                stage("sweep_parallel", par_ms, par_peak, Some(cells)),
+            ]),
+        ),
+        ("speedup_parallel_over_serial", Json::Num(speedup)),
+        ("identical", Json::Bool(identical)),
+        (
+            "alloc",
+            Json::obj([
+                ("allocated_total", Json::int(a.allocated_total)),
+                ("allocation_count", Json::int(a.allocation_count)),
+                ("live_bytes", Json::int(a.live_bytes)),
+                ("peak_live_bytes", Json::int(a.peak_live_bytes)),
+            ]),
+        ),
+    ]);
+
+    let text = doc.pretty();
+    // Re-validate what we are about to write; a malformed baseline must
+    // never land on disk.
+    let reparsed = json::parse(&text).expect("perf emitted malformed JSON");
+    let problems = validate(&reparsed);
+
+    std::fs::write(&opts.out, &text).expect("write baseline file");
+    println!(
+        "wrote {} ({} cells; serial {serial_ms:.0} ms, parallel {par_ms:.0} ms on \
+         {threads} threads => {speedup:.2}x; identical: {identical})",
+        opts.out, cells
+    );
+
+    if !identical {
+        eprintln!("FAIL: parallel sweep results differ from serial");
+        std::process::exit(1);
+    }
+    for p in &problems {
+        eprintln!("FAIL: emitted baseline invalid: {p}");
+    }
+    if !problems.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,9 @@
 //! the *shapes* — who wins, by what factor, where crossovers fall — are
 //! the reproduction targets (EXPERIMENTS.md).
 
+pub mod json;
+pub mod parallel;
+
 use std::collections::BTreeMap;
 
 use svm_apps::{paper_suite, AppRun, Benchmark};
@@ -114,30 +117,55 @@ pub struct Record {
     pub run: AppRun,
 }
 
-/// Run every (app x protocol x node-count) combination.
+/// Run every (app x protocol x node-count) combination on the parallel
+/// experiment driver.
+///
+/// Worker count comes from [`parallel::workers`] (`SVM_BENCH_THREADS` or
+/// the machine's parallelism). Each cell is an independent seeded
+/// virtual-time simulation, so the records are bit-identical to the serial
+/// sweep and come back in the canonical serial order regardless of which
+/// worker ran what (DESIGN.md §13).
 pub fn run_sweep(opts: &Options) -> Vec<Record> {
-    let mut out = Vec::new();
-    for bench in opts.suite() {
-        let seq = bench.seq_secs();
+    let cells = opts.suite().len() * opts.nodes.len() * opts.protocols.len();
+    run_sweep_with(opts, parallel::workers(cells))
+}
+
+/// The serial sweep: same cells, same order, one at a time on the calling
+/// thread. Kept as the wall-clock baseline for `--bin perf`.
+pub fn run_sweep_serial(opts: &Options) -> Vec<Record> {
+    run_sweep_with(opts, 1)
+}
+
+/// Run the sweep on an explicit number of worker threads.
+pub fn run_sweep_with(opts: &Options, threads: usize) -> Vec<Record> {
+    let suite = opts.suite();
+    // Canonical cell order: suite x nodes x protocols, exactly the loop
+    // nesting the serial driver always used. Job index == output index.
+    let mut jobs: Vec<(usize, usize, ProtocolName)> = Vec::new();
+    for bi in 0..suite.len() {
         for &nodes in &opts.nodes {
             for &protocol in &opts.protocols {
-                eprintln!(
-                    "running {} under {protocol} on {nodes} nodes (scale {})...",
-                    bench.name(),
-                    opts.scale
-                );
-                let run = bench.run(&SvmConfig::new(protocol, nodes));
-                out.push(Record {
-                    app: bench.name(),
-                    seq_secs: seq,
-                    protocol,
-                    nodes,
-                    run,
-                });
+                jobs.push((bi, nodes, protocol));
             }
         }
     }
-    out
+    parallel::run_ordered(jobs.len(), threads, |i| {
+        let (bi, nodes, protocol) = jobs[i];
+        let bench = &suite[bi];
+        eprintln!(
+            "running {} under {protocol} on {nodes} nodes (scale {})...",
+            bench.name(),
+            opts.scale
+        );
+        let run = bench.run(&SvmConfig::new(protocol, nodes));
+        Record {
+            app: bench.name(),
+            seq_secs: bench.seq_secs(),
+            protocol,
+            nodes,
+            run,
+        }
+    })
 }
 
 /// Index records by `(app, nodes, protocol)`.

@@ -551,7 +551,13 @@ impl Agent for SvmAgent {
     type Req = SvmReq;
     type Resp = ();
 
-    fn on_message(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: reliable::Wire) {
+    fn on_message(
+        &mut self,
+        ctx: &mut MCtx<'_>,
+        at: ProcAddr,
+        from: ProcAddr,
+        msg: reliable::Wire,
+    ) {
         self.on_wire(ctx, at, from, msg);
     }
 
@@ -631,7 +637,9 @@ mod tests {
         let geometry = Geometry::new(cfg.page_size());
         let ps = geometry.page_size();
         let golden = vec![0xAB; 2 * ps];
-        let caches = (0..2).map(|_| HandoffCell::new(NodeCache::new(2))).collect();
+        let caches = (0..2)
+            .map(|_| HandoffCell::new(NodeCache::new(2)))
+            .collect();
         let agent = SvmAgent::new(
             cfg,
             geometry,

@@ -86,11 +86,49 @@ struct SendChannel {
     to: ProcAddr,
     next_seq: u32,
     unacked: BTreeMap<u32, SvmMsg>,
-    timer: Option<EventId>,
-    /// Timer generation: a queued timer token with a stale generation is
-    /// ignored, which makes cancel-vs-already-queued races harmless.
-    gen: u32,
+    /// The armed retransmit timer, if any: its scheduler event (for
+    /// cancellation) and its token in [`TimerTokens`].
+    armed: Option<(EventId, u64)>,
     backoff: u32,
+}
+
+/// Live retransmit-timer tokens, allocated from one 64-bit counter.
+///
+/// The previous scheme packed `channel | generation << 32` into the timer
+/// token: the channel index truncated to 32 bits and the generation
+/// wrapped at `u32::MAX`, so a stale queued timer could collide with a
+/// live generation one full wrap later and trigger a spurious
+/// retransmission burst. Tokens are now never reused — a token is live iff
+/// it is in `live`, so staleness is structural: a cancelled or superseded
+/// timer's token simply no longer resolves (see the wrap regression test).
+#[derive(Default)]
+struct TimerTokens {
+    next: u64,
+    live: BTreeMap<u64, usize>,
+}
+
+impl TimerTokens {
+    /// Allocate a fresh token for `chan`'s timer.
+    fn arm(&mut self, chan: usize) -> u64 {
+        let token = self.next;
+        // INVARIANT: a simulation would need 2^64 timer arms to exhaust the
+        // token space; that is unreachable in any run, so overflow here is
+        // internal-state corruption, not an input condition.
+        let next = self.next.checked_add(1);
+        self.next = next.expect("retransmit timer token space exhausted");
+        self.live.insert(token, chan);
+        token
+    }
+
+    /// Kill a token; returns whether it was live.
+    fn disarm(&mut self, token: u64) -> bool {
+        self.live.remove(&token).is_some()
+    }
+
+    /// The channel a live token belongs to (`None` = stale).
+    fn resolve(&self, token: u64) -> Option<usize> {
+        self.live.get(&token).copied()
+    }
 }
 
 struct RecvChannel {
@@ -119,6 +157,7 @@ pub struct ReliableNet {
     chans: Vec<SendChannel>,
     index: BTreeMap<(ProcAddr, ProcAddr), usize>,
     recv: BTreeMap<(ProcAddr, ProcAddr), RecvChannel>,
+    tokens: TimerTokens,
     /// Every retransmission, in event order.
     pub trace: Vec<RetransmitEvent>,
 }
@@ -134,6 +173,7 @@ impl ReliableNet {
             chans: Vec::new(),
             index: BTreeMap::new(),
             recv: BTreeMap::new(),
+            tokens: TimerTokens::default(),
             trace: Vec::new(),
         }
     }
@@ -144,8 +184,7 @@ impl ReliableNet {
                 to,
                 next_seq: 1,
                 unacked: BTreeMap::new(),
-                timer: None,
-                gen: 0,
+                armed: None,
                 backoff: 0,
             });
             self.chans.len() - 1
@@ -178,24 +217,27 @@ impl SvmAgent {
         let seq = ch.next_seq;
         ch.next_seq += 1;
         if !suppressed {
-            ctx.send(to, Wire::Data {
-                seq,
-                msg: msg.clone(),
-            });
+            ctx.send(
+                to,
+                Wire::Data {
+                    seq,
+                    msg: msg.clone(),
+                },
+            );
         }
         ch.unacked.insert(seq, msg);
-        if ch.timer.is_none() {
+        if ch.armed.is_none() {
             self.net_arm(ctx, idx);
         }
     }
 
-    /// (Re)arm channel `idx`'s retransmit timer at its current backoff.
+    /// Arm channel `idx`'s retransmit timer at its current backoff. The
+    /// channel must not already be armed (callers disarm first).
     fn net_arm(&mut self, ctx: &mut MCtx<'_>, idx: usize) {
         let delay = self.net.timeout(self.net.chans[idx].backoff);
-        let ch = &mut self.net.chans[idx];
-        ch.gen = ch.gen.wrapping_add(1);
-        let token = idx as u64 | ((ch.gen as u64) << 32);
-        ch.timer = Some(ctx.set_timer(delay, token));
+        let token = self.net.tokens.arm(idx);
+        let ev = ctx.set_timer(delay, token);
+        self.net.chans[idx].armed = Some((ev, token));
     }
 
     /// Unwrap an incoming envelope: dispatch plain messages directly, run
@@ -236,16 +278,16 @@ impl SvmAgent {
                 if progress {
                     ch.backoff = 0;
                 }
-                if ch.unacked.is_empty() {
-                    if let Some(ev) = ch.timer.take() {
+                let empty = ch.unacked.is_empty();
+                if empty || progress {
+                    // Cancel the pending event and kill its token, so a
+                    // firing already queued for service resolves stale.
+                    if let Some((ev, token)) = ch.armed.take() {
                         ctx.cancel_timer(ev);
+                        self.net.tokens.disarm(token);
                     }
-                    // Invalidate any timer work already queued for service.
-                    ch.gen = ch.gen.wrapping_add(1);
-                } else if progress {
-                    if let Some(ev) = ch.timer.take() {
-                        ctx.cancel_timer(ev);
-                    }
+                }
+                if !empty && progress {
                     self.net_arm(ctx, idx);
                 }
             }
@@ -255,24 +297,24 @@ impl SvmAgent {
     /// A retransmit timer reached service: resend everything unacked on its
     /// channel, double the backoff, rearm.
     pub fn on_net_timer(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, token: u64) {
-        let idx = (token & 0xFFFF_FFFF) as usize;
-        let gen = (token >> 32) as u32;
-        if idx >= self.net.chans.len() || self.net.chans[idx].gen != gen {
-            return; // stale: cancelled or superseded after queueing
+        let Some(idx) = self.net.tokens.resolve(token) else {
+            return; // stale: disarmed after this firing was queued
+        };
+        // The firing consumes the token; rearming allocates a fresh one.
+        self.net.tokens.disarm(token);
+        self.net.chans[idx].armed = None;
+        if self.net.chans[idx].unacked.is_empty() {
+            return; // nothing outstanding; next send rearms
         }
         let node = at.node;
         let overhead = ctx.cost().handler_overhead;
-        let (to, resend, attempt) = {
-            let ch = &self.net.chans[idx];
-            if ch.unacked.is_empty() {
-                return;
-            }
-            let resend: Vec<(u32, SvmMsg)> =
-                ch.unacked.iter().map(|(s, m)| (*s, m.clone())).collect();
-            (ch.to, resend, ch.backoff + 1)
-        };
+        let to = self.net.chans[idx].to;
+        let attempt = self.net.chans[idx].backoff + 1;
         self.counters[node.index()].retransmit_timeouts += 1;
-        for (seq, msg) in resend {
+        // Take the unacked map out for the send loop instead of cloning it
+        // wholesale; only each resent message is cloned (for the wire).
+        let unacked = std::mem::take(&mut self.net.chans[idx].unacked);
+        for (&seq, msg) in &unacked {
             ctx.work(overhead, Category::Retransmit);
             self.net.trace.push(RetransmitEvent {
                 at_ns: ctx.now().as_nanos(),
@@ -282,9 +324,16 @@ impl SvmAgent {
                 attempt,
             });
             self.counters[node.index()].retransmissions += 1;
-            ctx.send(to, Wire::Data { seq, msg });
+            ctx.send(
+                to,
+                Wire::Data {
+                    seq,
+                    msg: msg.clone(),
+                },
+            );
         }
         let ch = &mut self.net.chans[idx];
+        ch.unacked = unacked;
         ch.backoff = (ch.backoff + 1).min(self.net.backoff_cap);
         self.net_arm(ctx, idx);
     }
@@ -319,6 +368,54 @@ mod tests {
         assert_eq!(wire.wire_bytes(), bytes + 8);
         assert_eq!(Wire::Ack { cum: 3 }.wire_bytes(), 12);
         assert_eq!(Wire::Ack { cum: 3 }.class(), TrafficClass::Protocol);
+    }
+
+    /// Regression for the old `channel | gen << 32` token packing: drive
+    /// the allocator across the boundary where the 32-bit generation used
+    /// to wrap and verify a stale token can never be mistaken for a live
+    /// one — staleness is structural (absent from the live map), not a
+    /// modular counter comparison.
+    #[test]
+    fn stale_tokens_stay_dead_across_the_old_gen_wrap_boundary() {
+        // Start just below where the old u32 generation wrapped to 0.
+        let mut t = TimerTokens {
+            next: u32::MAX as u64 - 2,
+            ..TimerTokens::default()
+        };
+        let stale = t.arm(5);
+        assert_eq!(t.resolve(stale), Some(5));
+        assert!(t.disarm(stale), "live token disarms once");
+
+        // Arm/disarm the same channel through and past the wrap boundary
+        // (old scheme: gen would revisit the stale token's value here).
+        let mut seen = vec![stale];
+        for _ in 0..6 {
+            let tok = t.arm(5);
+            assert!(!seen.contains(&tok), "tokens are never reused");
+            seen.push(tok);
+            assert!(t.disarm(tok));
+        }
+        assert!(t.next > u32::MAX as u64 + 3, "crossed the old wrap point");
+        assert_eq!(t.resolve(stale), None, "stale token must stay dead");
+        assert!(!t.disarm(stale), "double-disarm is a no-op");
+    }
+
+    /// Channel indices are not truncated: tokens resolve to the exact
+    /// channel they were armed for, independent of how many channels or
+    /// arms came before.
+    #[test]
+    fn tokens_resolve_to_their_own_channel() {
+        let mut t = TimerTokens::default();
+        let a = t.arm(0);
+        let b = t.arm(71);
+        let c = t.arm(usize::MAX >> 1);
+        assert_eq!(t.resolve(a), Some(0));
+        assert_eq!(t.resolve(b), Some(71));
+        assert_eq!(t.resolve(c), Some(usize::MAX >> 1));
+        t.disarm(b);
+        assert_eq!(t.resolve(a), Some(0));
+        assert_eq!(t.resolve(b), None);
+        assert_eq!(t.resolve(c), Some(usize::MAX >> 1));
     }
 
     #[test]

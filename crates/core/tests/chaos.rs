@@ -167,7 +167,10 @@ fn same_fault_seed_replays_identically() {
             a.counters.total(|c| c.dup_suppressed),
             b.counters.total(|c| c.dup_suppressed)
         );
-        assert_eq!(a.counters.total(|c| c.acks_sent), b.counters.total(|c| c.acks_sent));
+        assert_eq!(
+            a.counters.total(|c| c.acks_sent),
+            b.counters.total(|c| c.acks_sent)
+        );
     }
 }
 
@@ -185,7 +188,10 @@ fn chaos_runs_actually_retransmit() {
         );
         total += r.retransmit_trace.len();
     }
-    assert!(total > 0, "no retransmissions across four 2%-drop chaos runs");
+    assert!(
+        total > 0,
+        "no retransmissions across four 2%-drop chaos runs"
+    );
 }
 
 /// Drop the first message of `kind` and require the run to still be
@@ -251,6 +257,47 @@ fn hlrc_survives_dropping_each_message_kind() {
 fn ohlrc_survives_dropping_each_message_kind() {
     for kind in COMMON_KINDS.iter().chain(HOME_KINDS) {
         drop_kind(ProtocolName::Ohlrc, kind);
+    }
+}
+
+/// Duplicate-ack-after-drain regression: with every message duplicated
+/// (`dup_rate = 1.0`, nothing dropped) each cumulative ack also arrives a
+/// second time — frequently after the channel has already drained and its
+/// retransmit timer was cancelled. The late duplicate must be a pure
+/// no-op: no double timer cancel, no counter skew, no retransmissions
+/// (nothing is ever lost), and the whole thing bit-reproducible.
+#[test]
+fn duplicate_ack_after_drain_is_harmless() {
+    let fault = FaultProfile {
+        seed: 7,
+        dup_rate: 1.0,
+        ..FaultProfile::default()
+    };
+    for protocol in ProtocolName::ALL {
+        let a = run_one(protocol, contention_schedules(), fault.clone());
+        assert!(
+            a.counters.total(|c| c.dup_suppressed) > 0,
+            "{protocol}: full duplication produced no suppressed duplicates \
+             (the after-drain ack path was never exercised)"
+        );
+        assert_eq!(
+            a.counters.total(|c| c.retransmissions),
+            0,
+            "{protocol}: duplicate acks after drain must not trigger \
+             retransmissions — nothing was lost"
+        );
+        assert_eq!(a.counters.total(|c| c.retransmit_timeouts), 0);
+        // Replay: the drain/duplicate interleaving is deterministic.
+        let b = run_one(protocol, contention_schedules(), fault.clone());
+        assert_eq!(a.outcome.total_time, b.outcome.total_time);
+        assert_eq!(
+            a.counters.total(|c| c.dup_suppressed),
+            b.counters.total(|c| c.dup_suppressed)
+        );
+        assert_eq!(
+            a.counters.total(|c| c.acks_sent),
+            b.counters.total(|c| c.acks_sent)
+        );
     }
 }
 

@@ -165,7 +165,13 @@ pub struct RunError {
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "node {} at {}: {}", self.node.index(), self.at, self.what)
+        write!(
+            f,
+            "node {} at {}: {}",
+            self.node.index(),
+            self.at,
+            self.what
+        )
     }
 }
 
@@ -346,7 +352,12 @@ impl<A: Agent> World<A> {
         let outcome = RunOutcome {
             total_time,
             breakdowns,
-            finish_times: self.machine.finish.iter().map(|t| t.unwrap_or(now)).collect(),
+            finish_times: self
+                .machine
+                .finish
+                .iter()
+                .map(|t| t.unwrap_or(now))
+                .collect(),
             traffic: self.machine.traffic.clone(),
             coproc_busy: self.machine.coproc_busy.clone(),
             events_executed: sched.executed(),
@@ -711,10 +722,18 @@ impl<'a, A: Agent> Ctx<'a, A> {
             }
             Some(plan) => {
                 let arrivals = plan.route(from.node, to.node, at);
-                for t in arrivals {
-                    let m = msg.clone();
+                // Schedule in arrival-slot order (original first, duplicate
+                // second) so event sequence numbers — and thus tie-breaking
+                // — are unchanged. Only a duplicated message clones; the
+                // final delivery takes ownership.
+                if let Some((&last, rest)) = arrivals.as_slice().split_last() {
+                    for &t in rest {
+                        let m = msg.clone();
+                        self.sched
+                            .at(t, move |s, w: &mut World<A>| w.deliver(s, to, from, m));
+                    }
                     self.sched
-                        .at(t, move |s, w: &mut World<A>| w.deliver(s, to, from, m));
+                        .at(last, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
                 }
             }
         }

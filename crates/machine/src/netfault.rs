@@ -86,6 +86,54 @@ pub struct NetFaultStats {
     pub stall_time: SimDuration,
 }
 
+/// Delivery times for one routed message: zero (dropped), one, or two
+/// (duplicated) arrivals, stored inline. `route` runs for every cross-node
+/// message, so this avoids the per-message `Vec` allocation the hot send
+/// path used to pay.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Arrivals {
+    times: [SimTime; 2],
+    len: u8,
+}
+
+impl Arrivals {
+    fn none() -> Self {
+        Arrivals {
+            times: [SimTime::ZERO; 2],
+            len: 0,
+        }
+    }
+
+    fn one(t: SimTime) -> Self {
+        Arrivals {
+            times: [t, SimTime::ZERO],
+            len: 1,
+        }
+    }
+
+    fn two(first: SimTime, second: SimTime) -> Self {
+        Arrivals {
+            times: [first, second],
+            len: 2,
+        }
+    }
+
+    /// The arrival times, in scheduling order.
+    pub fn as_slice(&self) -> &[SimTime] {
+        &self.times[..self.len as usize]
+    }
+
+    /// Number of deliveries (0 = dropped, 2 = duplicated).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the message was dropped.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// The seeded fault schedule for one run.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
@@ -129,10 +177,10 @@ impl FaultPlan {
     /// Exactly four uniform draws are consumed per examined message
     /// regardless of configuration, plus one per triggered magnitude — so a
     /// schedule is reproducible from `(seed, send order)` alone.
-    pub fn route(&mut self, from: NodeId, to: NodeId, base: SimTime) -> Vec<SimTime> {
+    pub fn route(&mut self, from: NodeId, to: NodeId, base: SimTime) -> Arrivals {
         if let Some(link) = self.cfg.only_link {
             if link != (from, to) {
-                return vec![base.max(self.stalled_until[to.index()])];
+                return Arrivals::one(base.max(self.stalled_until[to.index()]));
             }
         }
         self.stats.examined += 1;
@@ -150,21 +198,21 @@ impl FaultPlan {
         }
         if r_drop < self.cfg.drop_rate {
             self.stats.dropped += 1;
-            return Vec::new();
+            return Arrivals::none();
         }
         let mut first = base;
         if r_delay < self.cfg.delay_rate {
             first += self.jitter(self.cfg.max_extra_delay);
             self.stats.delayed += 1;
         }
-        let mut arrivals = Vec::with_capacity(2);
-        arrivals.push(first.max(self.stalled_until[to.index()]));
+        let first = first.max(self.stalled_until[to.index()]);
         if r_dup < self.cfg.dup_rate {
             let second = base + self.jitter(self.cfg.max_extra_delay);
             self.stats.duplicated += 1;
-            arrivals.push(second.max(self.stalled_until[to.index()]));
+            Arrivals::two(first, second.max(self.stalled_until[to.index()]))
+        } else {
+            Arrivals::one(first)
         }
-        arrivals
     }
 }
 
@@ -191,7 +239,7 @@ mod tests {
         let mut plan = FaultPlan::new(NetFaultConfig::default(), 4);
         for i in 0..100 {
             let arrivals = plan.route(NodeId(0), NodeId(1), t(i));
-            assert_eq!(arrivals, vec![t(i)]);
+            assert_eq!(arrivals.as_slice(), &[t(i)]);
         }
         assert_eq!(plan.stats().dropped, 0);
         assert_eq!(plan.stats().duplicated, 0);
@@ -250,12 +298,12 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg, 2);
         let a1 = plan.route(NodeId(0), NodeId(1), t(10));
-        assert!(a1[0] >= t(10));
+        assert!(a1.as_slice()[0] >= t(10));
         // Every message stalls the destination further; arrivals never
         // precede the accumulated window.
         let window = plan.stalled_until[1];
         let a2 = plan.route(NodeId(0), NodeId(1), t(11));
-        assert!(a2[0] >= window);
+        assert!(a2.as_slice()[0] >= window);
         assert!(plan.stats().stalls >= 2);
         assert!(plan.stats().stall_time > SimDuration::ZERO);
     }
@@ -270,7 +318,7 @@ mod tests {
         };
         let mut plan = FaultPlan::new(cfg, 3);
         assert!(plan.route(NodeId(0), NodeId(1), t(1)).is_empty());
-        assert_eq!(plan.route(NodeId(0), NodeId(2), t(1)), vec![t(1)]);
-        assert_eq!(plan.route(NodeId(1), NodeId(0), t(1)), vec![t(1)]);
+        assert_eq!(plan.route(NodeId(0), NodeId(2), t(1)).as_slice(), &[t(1)]);
+        assert_eq!(plan.route(NodeId(1), NodeId(0), t(1)).as_slice(), &[t(1)]);
     }
 }

@@ -41,20 +41,64 @@ impl Diff {
         assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
         assert_eq!(twin.len() % DIFF_WORD, 0, "page size must be word-multiple");
         let words = twin.len() / DIFF_WORD;
-        let mut runs = Vec::new();
-        let mut w = 0;
-        while w < words {
+        // Hot path: this runs once per twin at every release/flush. Scan
+        // two words per step via u64 loads (XOR + halves test classifies
+        // both words at once) and pre-size the run vector — real diffs are
+        // a handful of runs. The runs produced are exactly those of the
+        // word-at-a-time scan (pinned by chunk_equivalence tests).
+        let mut runs = Vec::with_capacity(8);
+
+        // Do 32-bit words `w` and `w+1` differ? Little-endian load order
+        // puts word `w` in the low half regardless of host endianness.
+        #[inline]
+        fn chunk(twin: &[u8], current: &[u8], w: usize) -> (bool, bool) {
             let b = w * DIFF_WORD;
-            if twin[b..b + DIFF_WORD] == current[b..b + DIFF_WORD] {
-                w += 1;
-                continue;
-            }
-            let start = w;
-            while w < words {
-                let b = w * DIFF_WORD;
-                if twin[b..b + DIFF_WORD] == current[b..b + DIFF_WORD] {
+            let t = u64::from_le_bytes(twin[b..b + 8].try_into().expect("8-byte chunk"));
+            let c = u64::from_le_bytes(current[b..b + 8].try_into().expect("8-byte chunk"));
+            let x = t ^ c;
+            (x & 0xFFFF_FFFF != 0, x >> 32 != 0)
+        }
+        #[inline]
+        fn word_differs(twin: &[u8], current: &[u8], w: usize) -> bool {
+            let b = w * DIFF_WORD;
+            twin[b..b + DIFF_WORD] != current[b..b + DIFF_WORD]
+        }
+
+        let mut w = 0;
+        loop {
+            // Skip equal words, two at a time, until `w` differs.
+            while w + 1 < words {
+                let (lo, hi) = chunk(twin, current, w);
+                if lo {
                     break;
                 }
+                if hi {
+                    w += 1;
+                    break;
+                }
+                w += 2;
+            }
+            if w + 1 == words && !word_differs(twin, current, w) {
+                w += 1;
+            }
+            if w >= words {
+                break;
+            }
+            // `w` differs: extend the run through consecutive differing
+            // words, again two at a time.
+            let start = w;
+            while w + 1 < words {
+                let (lo, hi) = chunk(twin, current, w);
+                if !lo {
+                    break;
+                }
+                if !hi {
+                    w += 1;
+                    break;
+                }
+                w += 2;
+            }
+            if w + 1 == words && word_differs(twin, current, w) {
                 w += 1;
             }
             runs.push(Run {
@@ -69,10 +113,18 @@ impl Diff {
     ///
     /// # Panics
     ///
-    /// Panics if any run falls outside `dst`.
+    /// Panics with a named "diff run out of bounds" message if any run
+    /// falls outside `dst`.
     pub fn apply(&self, dst: &mut [u8]) {
         for run in &self.runs {
             let off = run.offset as usize;
+            let end = off.checked_add(run.bytes.len());
+            assert!(
+                end.is_some_and(|e| e <= dst.len()),
+                "diff run out of bounds: offset {off} + {} bytes > page size {}",
+                run.bytes.len(),
+                dst.len()
+            );
             dst[off..off + run.bytes.len()].copy_from_slice(&run.bytes);
         }
     }
@@ -110,7 +162,26 @@ impl Diff {
     /// `self` then `later`.
     ///
     /// Used by the home to coalesce, and by tests as an algebraic check.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a named "diff run out of bounds in merge" message if
+    /// either diff has a run that does not fit inside `page_size`.
     pub fn merge(&self, later: &Diff, page_size: usize) -> Diff {
+        // Both diffs' runs must fit the scratch page; validate up front so
+        // a corrupt run fails with a named panic instead of a raw slice
+        // error deep in `apply`.
+        for d in [self, later] {
+            for run in &d.runs {
+                let end = (run.offset as usize).checked_add(run.bytes.len());
+                assert!(
+                    end.is_some_and(|e| e <= page_size),
+                    "diff run out of bounds in merge: offset {} + {} bytes > page size {page_size}",
+                    run.offset,
+                    run.bytes.len()
+                );
+            }
+        }
         // Materialize both diffs on a scratch page and rebuild runs from the
         // union of touched words. Diffs are short-lived; not a hot path.
         let words = page_size / DIFF_WORD;
@@ -241,5 +312,34 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn create_rejects_mismatched_lengths() {
         let _ = Diff::create(&[0u8; 8], &[0u8; 12]);
+    }
+
+    /// An oversized run (e.g. from a corrupt wire decode) must fail the
+    /// named bounds check, not a raw slice panic inside the copy.
+    fn oversized() -> Diff {
+        Diff {
+            runs: vec![Run {
+                offset: 60,
+                bytes: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            }],
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diff run out of bounds: offset 60 + 8 bytes > page size 64")]
+    fn apply_rejects_run_past_page_end() {
+        oversized().apply(&mut [0u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diff run out of bounds in merge")]
+    fn merge_rejects_oversized_run_in_earlier_diff() {
+        let _ = oversized().merge(&Diff::default(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "diff run out of bounds in merge")]
+    fn merge_rejects_oversized_run_in_later_diff() {
+        let _ = Diff::default().merge(&oversized(), 64);
     }
 }

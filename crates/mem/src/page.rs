@@ -60,20 +60,38 @@ unsafe impl Send for PageBuf {}
 // `unsafe` methods whose contract demands external mutual exclusion.
 unsafe impl Sync for PageBuf {}
 
+/// Re-type a byte block as `UnsafeCell<u8>` cells without copying.
+///
+/// Lets the constructors allocate through the fast `Vec<u8>` paths (zeroed
+/// pages come straight from the allocator, `from_slice` is one `memcpy`)
+/// instead of wrapping bytes one element at a time.
+fn cells_from_bytes(bytes: Box<[u8]>) -> Box<[UnsafeCell<u8>]> {
+    let len = bytes.len();
+    let ptr = Box::into_raw(bytes) as *mut u8;
+    // SAFETY: `UnsafeCell<u8>` is `repr(transparent)` over `u8`, so size,
+    // alignment, and allocation layout are identical; `ptr`/`len` come from
+    // the box we just leaked, so rebuilding the box transfers ownership of
+    // the same allocation exactly once.
+    unsafe {
+        Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+            ptr as *mut UnsafeCell<u8>,
+            len,
+        ))
+    }
+}
+
 impl PageBuf {
     /// Allocate a zero-filled page of `size` bytes.
     pub fn new_zeroed(size: usize) -> Self {
-        let v: Vec<UnsafeCell<u8>> = (0..size).map(|_| UnsafeCell::new(0)).collect();
         PageBuf {
-            data: v.into_boxed_slice(),
+            data: cells_from_bytes(vec![0u8; size].into_boxed_slice()),
         }
     }
 
     /// Allocate a page initialized from `src`.
     pub fn from_slice(src: &[u8]) -> Self {
-        let v: Vec<UnsafeCell<u8>> = src.iter().map(|&b| UnsafeCell::new(b)).collect();
         PageBuf {
-            data: v.into_boxed_slice(),
+            data: cells_from_bytes(src.to_vec().into_boxed_slice()),
         }
     }
 

@@ -64,8 +64,7 @@ fn payload_bounded_by_mutations() {
         |(base, muts)| {
             let cur = mutate(base, muts);
             let d = Diff::create(base, &cur);
-            let distinct: std::collections::HashSet<usize> =
-                muts.iter().map(|(o, _)| *o).collect();
+            let distinct: std::collections::HashSet<usize> = muts.iter().map(|(o, _)| *o).collect();
             assert!(d.payload_bytes() <= DIFF_WORD * distinct.len());
         },
     );
@@ -179,7 +178,10 @@ fn regression_address_beyond_page_space() {
     let last_valid = GAddr(((u32::MAX as u64) << 6) + 63);
     let p = g.page_of(last_valid);
     assert_eq!(p.0, u32::MAX);
-    assert_eq!(g.page_base(p) + g.offset_in_page(last_valid) as u64, last_valid);
+    assert_eq!(
+        g.page_base(p) + g.offset_in_page(last_valid) as u64,
+        last_valid
+    );
 
     let historical = GAddr(549755813888); // 2^39 = first page past the space
     let out_of_space = std::panic::catch_unwind(|| g.page_of(historical));

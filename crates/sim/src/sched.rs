@@ -154,7 +154,9 @@ impl<W> Scheduler<W> {
     /// Run a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
         while let Some(entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            // Tombstones are rare (only cancelled timers); skip the set
+            // probe entirely on the common empty-set path.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "time went backwards");
@@ -181,7 +183,7 @@ impl<W> Scheduler<W> {
                 None => return true,
                 Some(e) if e.at > limit => {
                     // Skip over tombstoned entries past the limit check.
-                    if self.cancelled.contains(&e.seq) {
+                    if !self.cancelled.is_empty() && self.cancelled.contains(&e.seq) {
                         let seq = e.seq;
                         self.queue.pop();
                         self.cancelled.remove(&seq);

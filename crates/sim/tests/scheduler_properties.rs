@@ -16,9 +16,12 @@ fn fires_in_stable_time_order() {
             let mut s: Scheduler<Vec<(u64, usize)>> = Scheduler::new();
             let mut world = Vec::new();
             for (idx, &d) in delays.iter().enumerate() {
-                s.after(SimDuration::from_nanos(d), move |sc, w: &mut Vec<(u64, usize)>| {
-                    w.push((sc.now().as_nanos(), idx));
-                });
+                s.after(
+                    SimDuration::from_nanos(d),
+                    move |sc, w: &mut Vec<(u64, usize)>| {
+                        w.push((sc.now().as_nanos(), idx));
+                    },
+                );
             }
             s.run(&mut world);
             assert_eq!(world.len(), delays.len());
@@ -52,9 +55,11 @@ fn cancellation_is_exact() {
             let mut world = Vec::new();
             let mut ids = Vec::new();
             for (idx, &d) in delays.iter().enumerate() {
-                ids.push(s.after(SimDuration::from_nanos(d), move |_, w: &mut Vec<usize>| {
-                    w.push(idx)
-                }));
+                ids.push(
+                    s.after(SimDuration::from_nanos(d), move |_, w: &mut Vec<usize>| {
+                        w.push(idx)
+                    }),
+                );
             }
             let mut expected: Vec<usize> = Vec::new();
             for (idx, id) in ids.into_iter().enumerate() {
@@ -85,9 +90,12 @@ fn nested_events_interleave_correctly() {
                 s.after(SimDuration::from_nanos(d), move |sc, w: &mut Vec<u64>| {
                     w.push(sc.now().as_nanos());
                     // Child event half the delay later.
-                    sc.after(SimDuration::from_nanos(d / 2 + 1), |sc2, w: &mut Vec<u64>| {
-                        w.push(sc2.now().as_nanos());
-                    });
+                    sc.after(
+                        SimDuration::from_nanos(d / 2 + 1),
+                        |sc2, w: &mut Vec<u64>| {
+                            w.push(sc2.now().as_nanos());
+                        },
+                    );
                 });
             }
             s.run(&mut world);

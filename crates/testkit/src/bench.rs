@@ -33,9 +33,14 @@ impl Harness {
     /// are ignored, the first positional argument becomes a substring
     /// filter.
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness::new(filter)
+    }
+
+    /// A harness with an explicit substring filter (`None` = run all),
+    /// for callers that are not bench binaries (e.g. `svm-bench --bin
+    /// perf` embeds the micro-benches in its baseline).
+    pub fn new(filter: Option<String>) -> Self {
         Harness {
             filter,
             rows: Vec::new(),
@@ -46,10 +51,11 @@ impl Harness {
         self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
-    /// Time `f`, reporting ns per call.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+    /// Time `f`, reporting ns per call. Returns the median ns/iteration
+    /// (`None` when filtered out), so callers can record the number.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<f64> {
         if !self.selected(name) {
-            return;
+            return None;
         }
         // Warm up and estimate a single-call cost.
         let per_call = {
@@ -70,19 +76,20 @@ impl Harness {
             }
             samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
-        self.push(name, samples, iters);
+        Some(self.push(name, samples, iters))
     }
 
     /// Time `routine` over inputs produced by `setup`, excluding setup
-    /// cost (the analogue of `iter_batched`).
+    /// cost (the analogue of `iter_batched`). Returns the median
+    /// ns/iteration (`None` when filtered out).
     pub fn bench_batched<S, R>(
         &mut self,
         name: &str,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> R,
-    ) {
+    ) -> Option<f64> {
         if !self.selected(name) {
-            return;
+            return None;
         }
         let per_call = {
             let input = setup();
@@ -100,10 +107,10 @@ impl Harness {
             }
             samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
-        self.push(name, samples, iters);
+        Some(self.push(name, samples, iters))
     }
 
-    fn push(&mut self, name: &str, mut samples: Vec<f64>, iters: u64) {
+    fn push(&mut self, name: &str, mut samples: Vec<f64>, iters: u64) -> f64 {
         samples.sort_by(|a, b| a.total_cmp(b));
         let stats = Stats {
             median_ns: samples[samples.len() / 2],
@@ -111,13 +118,18 @@ impl Harness {
             mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
             iters,
         };
+        let median = stats.median_ns;
         eprintln!("  {name:<40} {}", fmt_ns(stats.median_ns));
         self.rows.push((name.to_string(), stats));
+        median
     }
 
     /// Print the final table. Call last in the bench `main`.
     pub fn finish(self) {
-        println!("\n{:<40} {:>12} {:>12} {:>12} {:>10}", "benchmark", "median", "min", "mean", "iters");
+        println!(
+            "\n{:<40} {:>12} {:>12} {:>12} {:>10}",
+            "benchmark", "median", "min", "mean", "iters"
+        );
         for (name, s) in &self.rows {
             println!(
                 "{name:<40} {:>12} {:>12} {:>12} {:>10}",
@@ -127,6 +139,31 @@ impl Harness {
                 s.iters
             );
         }
+    }
+}
+
+/// A wall-clock stopwatch for stage timing.
+///
+/// Lives here (not in the caller) because the analyzer's `determinism`
+/// rule bans `Instant::now` outside `svm-testkit`/`svm-analyzer`: wall
+/// clocks must never leak into simulation code, and routing all timing
+/// through this type keeps that audit trivially greppable.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed wall-clock nanoseconds since start.
+    pub fn elapsed_ns(&self) -> u128 {
+        self.0.elapsed().as_nanos()
+    }
+
+    /// Elapsed wall-clock milliseconds since start, fractional.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_nanos() as f64 / 1e6
     }
 }
 

@@ -55,6 +55,7 @@ mod runner;
 mod shrink;
 mod source;
 
+pub mod alloc;
 pub mod bench;
 
 pub use runner::{check, check_cfg, Config};

@@ -112,11 +112,7 @@ fn probe<T: Debug>(
 
 /// Run `prop` against `cases` inputs drawn from `gen`, with configuration
 /// from the environment. Panics with a reproducible report on failure.
-pub fn check<T: Debug>(
-    name: &str,
-    gen: impl FnMut(&mut Source) -> T,
-    prop: impl FnMut(&T),
-) {
+pub fn check<T: Debug>(name: &str, gen: impl FnMut(&mut Source) -> T, prop: impl FnMut(&T)) {
     check_cfg(name, &Config::from_env(name), gen, prop)
 }
 

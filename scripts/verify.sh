@@ -17,6 +17,9 @@ fi
 
 export CARGO_NET_OFFLINE=true
 
+echo "== formatting (cargo fmt --check)"
+cargo fmt --check
+
 echo "== tier-1: release build (offline)"
 cargo build --release
 
@@ -47,5 +50,12 @@ fi
 
 echo "== consistency check matrix (record -> svm-checker, fast subset)"
 cargo run --release -p svm-bench --bin check -- --fast
+
+echo "== perf smoke (parallel driver must match serial bit-for-bit)"
+cargo run --release -p svm-bench --bin perf -- --fast --out target/BENCH_fast.json
+cargo run --release -p svm-bench --bin perf -- --check target/BENCH_fast.json
+
+echo "== recorded perf baseline (BENCH_svm.json) present and well-formed"
+cargo run --release -p svm-bench --bin perf -- --check BENCH_svm.json
 
 echo "verify: OK"

@@ -13,11 +13,15 @@ fn sweep_cells_are_bit_reproducible() {
             let a = bench.run(&cfg);
             let b = bench.run(&cfg);
             assert_eq!(
-                a.report.outcome.total_time, b.report.outcome.total_time,
+                a.report.outcome.total_time,
+                b.report.outcome.total_time,
                 "{} under {protocol}: simulated time must be exact",
                 bench.name()
             );
-            assert_eq!(a.report.outcome.events_executed, b.report.outcome.events_executed);
+            assert_eq!(
+                a.report.outcome.events_executed,
+                b.report.outcome.events_executed
+            );
             assert_eq!(
                 a.report.outcome.traffic.grand_total(),
                 b.report.outcome.traffic.grand_total()
@@ -34,7 +38,10 @@ fn sweep_cells_are_bit_reproducible() {
 
 #[test]
 fn extension_workloads_are_deterministic_too() {
-    let fft = hlrc::apps::fft::Fft { n: 32, verify: true };
+    let fft = hlrc::apps::fft::Fft {
+        n: 32,
+        verify: true,
+    };
     let tsp = hlrc::apps::tsp::Tsp { n: 9, verify: true };
     for protocol in [ProtocolName::Hlrc, ProtocolName::Aurc] {
         let cfg = SvmConfig::new(protocol, 4);
