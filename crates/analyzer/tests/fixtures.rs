@@ -242,6 +242,88 @@ fn totality_construction_sites_do_not_count_as_arms() {
     );
 }
 
+/// The crash-recovery additions ride on this rule: `Wire::Heartbeat` and
+/// `SvmMsg::NodeDown` are new variants of *watched* enums, so a handler
+/// that forgets them (or hides them behind `_ =>`) must be flagged, and
+/// the explicit-arm handling the protocol actually uses must come back
+/// clean. This is the fixture twin of the workspace-clean test: if the
+/// rule loses its teeth, the unmatched-variant finding below disappears.
+#[test]
+fn totality_covers_heartbeat_and_failover_variants() {
+    let defs = [
+        SourceSpec {
+            path: "crates/core/src/msg.rs".into(),
+            src: "pub enum SvmMsg {\n\
+                  PageRequest { page: u64 },\n\
+                  NodeDown { node: u16 },\n\
+                  }\n"
+            .into(),
+        },
+        SourceSpec {
+            path: "crates/core/src/protocol/reliable.rs".into(),
+            src: "pub enum Wire {\n\
+                  Payload { seq: u64 },\n\
+                  Ack { seq: u64 },\n\
+                  Heartbeat,\n\
+                  }\n"
+            .into(),
+        },
+    ];
+    // A dispatcher written before the recovery subsystem: it constructs
+    // the new variants (send sites) but never matches them.
+    let stale = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(m: &SvmMsg, w: &Wire) -> u64 {\n\
+              let _beat = Wire::Heartbeat;\n\
+              let a = match m { SvmMsg::PageRequest { page } => *page, _ => 0 };\n\
+              let b = match w {\n\
+              Wire::Payload { seq } => *seq,\n\
+              Wire::Ack { seq } => *seq,\n\
+              };\n\
+              a + b\n\
+              }\n"
+        .into(),
+    };
+    let mut files = defs.to_vec();
+    files.push(stale);
+    let findings = analyze_files(&files, &cfg());
+    for missing in ["NodeDown", "Heartbeat"] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "message-totality" && f.message.contains(missing)),
+            "new variant {missing} unmatched but not flagged: {findings:#?}"
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "message-totality" && f.file.ends_with("foo.rs") && f.line == 3),
+        "catch-all hiding NodeDown not flagged: {findings:#?}"
+    );
+
+    // The recovery-aware dispatcher: every variant named, no catch-alls.
+    let current = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(m: &SvmMsg, w: &Wire) -> u64 {\n\
+              let a = match m {\n\
+              SvmMsg::PageRequest { page } => *page,\n\
+              SvmMsg::NodeDown { node } => *node as u64,\n\
+              };\n\
+              let b = match w {\n\
+              Wire::Payload { seq } | Wire::Ack { seq } => *seq,\n\
+              Wire::Heartbeat => 0,\n\
+              };\n\
+              a + b\n\
+              }\n"
+        .into(),
+    };
+    let mut files = defs.to_vec();
+    files.push(current);
+    let findings = analyze_files(&files, &cfg());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
 // ---- suppression mechanics shared across rules ----
 
 #[test]

@@ -1,13 +1,18 @@
 //! Chaos matrix: every workload under every protocol on a faulty network.
 //!
-//! Injects seeded drop/duplicate/delay faults (plus transient receiver
-//! stalls) at each requested rate, verifies that every run still produces
-//! the sequential reference checksum, and reports what the reliable-
-//! delivery layer had to do to make that true: retransmissions, timeouts,
-//! duplicate suppressions, and the fault layer's own tally.
+//! Each requested drop rate becomes a *mixed* column (seeded drop +
+//! duplicate + 4x reordering delay, the classic chaos profile), and the
+//! matrix always appends three single-knob-dominated columns — duplicate-,
+//! delay-, and stall-heavy — so all four `FaultPlan` knobs are exercised
+//! on every run of the suite. Every cell verifies the sequential
+//! reference checksum, and the table reports what the reliable-delivery
+//! layer had to do to make that true: retransmissions, timeouts,
+//! duplicate suppressions, and the fault layer's own per-knob tally.
 //!
 //! Usage: `chaos [--scale X] [--nodes N] [--drop a,b,c] [--seed S]`
 //! (defaults: scale 0.05, 4 nodes, drop rates 0, 0.001, 0.01, seed 1).
+//! The dominated columns derive their intensity from the largest
+//! requested rate.
 
 use svm_apps::{
     lu::Lu, raytrace::Raytrace, sor::Sor, water_ns::WaterNsq, water_sp::WaterSp, Benchmark,
@@ -59,6 +64,48 @@ fn parse_args() -> Opts {
     o
 }
 
+/// The matrix's fault columns: one mixed chaos column per requested drop
+/// rate, then one column per dominated knob so duplication, reordering
+/// jitter, and receiver stalls each get exercised in (near-)isolation.
+fn fault_columns(opts: &Opts) -> Vec<(String, FaultProfile)> {
+    let mut cols: Vec<(String, FaultProfile)> = opts
+        .drops
+        .iter()
+        .map(|&rate| {
+            (
+                format!("mixed {rate}"),
+                FaultProfile::chaos(opts.seed, rate),
+            )
+        })
+        .collect();
+    let base = opts.drops.iter().cloned().fold(0.0f64, f64::max).max(0.001);
+    cols.push((
+        format!("dup {}", 5.0 * base),
+        FaultProfile {
+            seed: opts.seed,
+            dup_rate: 5.0 * base,
+            ..FaultProfile::default()
+        },
+    ));
+    cols.push((
+        format!("delay {}", (20.0 * base).min(0.5)),
+        FaultProfile {
+            seed: opts.seed,
+            delay_rate: (20.0 * base).min(0.5),
+            ..FaultProfile::default()
+        },
+    ));
+    cols.push((
+        format!("stall {base}"),
+        FaultProfile {
+            seed: opts.seed,
+            stall_rate: base,
+            ..FaultProfile::default()
+        },
+    ));
+    cols
+}
+
 /// The five workloads with result verification switched on.
 fn verified_suite(scale: f64) -> Vec<Box<dyn Benchmark>> {
     vec![
@@ -88,44 +135,48 @@ fn verified_suite(scale: f64) -> Vec<Box<dyn Benchmark>> {
 fn main() {
     let opts = parse_args();
     println!(
-        "\nChaos matrix: apps x protocols x drop rates (scale {}, {} nodes, seed {})\n\
-         (each drop rate also injects equal duplication and 4x reordering delay)\n",
+        "\nChaos matrix: apps x protocols x fault regimes (scale {}, {} nodes, seed {})\n\
+         (mixed columns inject drop+dup+4x delay at the listed rate; the dup/delay/stall\n\
+         columns dominate a single fault knob)\n",
         opts.scale, opts.nodes, opts.seed
     );
 
     let mut t = Table::new(&[
         "Application",
         "Protocol",
-        "drop",
+        "fault",
         "verified",
         "retx",
         "timeouts",
         "dups-supp",
         "net-dropped",
         "net-dup'd",
+        "net-delayed",
+        "stalls",
         "time(s)",
     ]);
-    // Canonical cell order (app x protocol x rate); the parallel driver
+    // Canonical cell order (app x protocol x column); the parallel driver
     // returns results in this same order, so the table is byte-identical
     // to the old serial loop.
     let suite = verified_suite(opts.scale);
-    let mut jobs: Vec<(usize, ProtocolName, f64)> = Vec::new();
+    let columns = fault_columns(&opts);
+    let mut jobs: Vec<(usize, ProtocolName, usize)> = Vec::new();
     for bi in 0..suite.len() {
         for protocol in ProtocolName::ALL {
-            for &rate in &opts.drops {
-                jobs.push((bi, protocol, rate));
+            for ci in 0..columns.len() {
+                jobs.push((bi, protocol, ci));
             }
         }
     }
     let runs = parallel::run_ordered(jobs.len(), parallel::workers(jobs.len()), |i| {
-        let (bi, protocol, rate) = jobs[i];
+        let (bi, protocol, ci) = jobs[i];
         let mut cfg = SvmConfig::new(protocol, opts.nodes);
-        cfg.fault = FaultProfile::chaos(opts.seed, rate);
+        cfg.fault = columns[ci].1.clone();
         suite[bi].run(&cfg)
     });
 
     let mut failures = 0usize;
-    for ((bi, protocol, rate), run) in jobs.iter().zip(&runs) {
+    for ((bi, protocol, ci), run) in jobs.iter().zip(&runs) {
         let bench = &suite[*bi];
         let ok = run.checksum == bench.expected_checksum() && run.report.errors.is_empty();
         if !ok {
@@ -135,7 +186,7 @@ fn main() {
         t.row(vec![
             bench.name().to_string(),
             protocol.label().to_string(),
-            format!("{rate}"),
+            columns[*ci].0.clone(),
             if ok { "yes".into() } else { "FAIL".into() },
             run.report.counters.total(|c| c.retransmissions).to_string(),
             run.report
@@ -145,6 +196,8 @@ fn main() {
             run.report.counters.total(|c| c.dup_suppressed).to_string(),
             nf.dropped.to_string(),
             nf.duplicated.to_string(),
+            nf.delayed.to_string(),
+            nf.stalls.to_string(),
             format!("{:.3}", run.report.secs()),
         ]);
     }

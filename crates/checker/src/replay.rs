@@ -69,6 +69,12 @@ pub(crate) struct Replay<'t> {
     released: HashMap<u32, u64>,
     /// Barrier rounds (index = round).
     rounds: Vec<Round>,
+    /// Nodes whose `Crash` marker has been processed.
+    crashed: Vec<bool>,
+    /// Barrier rounds each node has entered (`round + 1` after processing
+    /// its `BarrierEnter` of `round`): a crashed node is excused from every
+    /// round it had not entered.
+    entered_rounds: Vec<u64>,
 }
 
 impl<'t> Replay<'t> {
@@ -99,6 +105,8 @@ impl<'t> Replay<'t> {
             lock_vc: HashMap::new(),
             released: HashMap::new(),
             rounds: Vec::new(),
+            crashed: vec![false; nodes],
+            entered_rounds: vec![0; nodes],
             trace,
             ctx,
         }
@@ -167,10 +175,17 @@ impl<'t> Replay<'t> {
             TraceEvent::Acquire { lock, seq, .. } => {
                 *seq == 1 || self.released.get(lock).copied().unwrap_or(0) >= seq - 1
             }
-            TraceEvent::BarrierLeave { round, .. } => self
-                .rounds
-                .get(*round as usize)
-                .is_some_and(|r| r.entered == self.trace.nodes),
+            TraceEvent::BarrierLeave { round, .. } => {
+                self.rounds.get(*round as usize).is_some_and(|r| {
+                    // Crashed nodes that never reached this round are
+                    // excused: the surviving membership re-formed the
+                    // barrier without them.
+                    let excused = (0..self.trace.nodes)
+                        .filter(|&m| self.crashed[m] && self.entered_rounds[m] <= *round)
+                        .count();
+                    r.entered + excused == self.trace.nodes
+                })
+            }
             _ => true,
         }
     }
@@ -233,6 +248,7 @@ impl<'t> Replay<'t> {
                 let vc = self.node_vc[n].clone();
                 merge(&mut self.rounds[r].vc, &vc);
                 self.rounds[r].entered += 1;
+                self.entered_rounds[n] = *round + 1;
                 self.new_episode(n, *at);
             }
             TraceEvent::BarrierLeave { round, vt, at, .. } => {
@@ -244,6 +260,13 @@ impl<'t> Replay<'t> {
             TraceEvent::IntervalEnd { vt, at, .. } => {
                 // Informational: only the vector-time sanity check applies.
                 self.check_vt(n, vt, *at);
+            }
+            TraceEvent::Crash { .. } => {
+                // The node leaves the membership: barrier rounds it had not
+                // entered release without it (see `ready`). Anything after
+                // this in its stream is recovery-synthesized (e.g. the
+                // release of a critical section it died inside).
+                self.crashed[n] = true;
             }
         }
     }

@@ -10,8 +10,10 @@
 //! vacuous passes where the seeded bug never fires.
 
 use svm_core::{
-    run, BarrierId, LockId, ProtocolName, RunReport, SeededBug, SvmConfig, SvmCtx, TraceConfig,
+    run, BarrierId, LockId, ProtocolName, RecoveryMode, RecoveryProfile, RunReport, SeededBug,
+    SvmConfig, SvmCtx, TraceConfig,
 };
+use svm_machine::NodeFaultConfig;
 
 use crate::{check_trace, CheckReport};
 
@@ -55,6 +57,56 @@ fn pair(
 ) -> SelfTestOutcome {
     let clean = prog(&cfg(protocol, nodes, None));
     let mutated = prog(&cfg(protocol, nodes, Some(bug)));
+    SelfTestOutcome {
+        name,
+        protocol,
+        bug,
+        clean: check_trace(clean.trace.as_ref().expect("recording enabled")),
+        mutated: check_trace(mutated.trace.as_ref().expect("recording enabled")),
+        mutated_hits: mutated.mutation_hits,
+    }
+}
+
+/// Like [`cfg`], plus a deterministic crash of `victim` at `at_us` with a
+/// fast graceful-recovery detector (2 ms heartbeats, dead after 3 silent
+/// periods). These pairs double as the "recovered executions check
+/// race-free" proof: the clean member crashes a node mid-run, recovers,
+/// and must still produce a race-free trace.
+fn crash_cfg(
+    protocol: ProtocolName,
+    nodes: usize,
+    bug: Option<SeededBug>,
+    victim: usize,
+    at_us: u64,
+) -> SvmConfig {
+    let mut c = cfg(protocol, nodes, bug);
+    c.recovery = RecoveryProfile {
+        enabled: true,
+        heartbeat_us: 2_000,
+        miss_threshold: 3,
+        mode: RecoveryMode::Graceful,
+    };
+    c.node_fault = NodeFaultConfig::crash_at(victim, at_us);
+    c
+}
+
+fn crash_pair(
+    name: &'static str,
+    protocol: ProtocolName,
+    nodes: usize,
+    bug: SeededBug,
+    victim: usize,
+    at_us: u64,
+    prog: fn(&SvmConfig) -> RunReport,
+) -> SelfTestOutcome {
+    let clean = prog(&crash_cfg(protocol, nodes, None, victim, at_us));
+    let mutated = prog(&crash_cfg(protocol, nodes, Some(bug), victim, at_us));
+    assert!(
+        clean.errors.is_empty() && clean.outcome.is_clean(),
+        "{name}: the clean crash-recovery run must finish clean, got {:?} / {:?}",
+        clean.errors,
+        clean.outcome.errors
+    );
     SelfTestOutcome {
         name,
         protocol,
@@ -188,6 +240,93 @@ fn prog_drop_grant(c: &SvmConfig) -> RunReport {
     )
 }
 
+/// Home failover under a crash: the page lives at node 2 (the victim);
+/// node 0 wrote slot 0 in round 1, node 1 wrote slot 1 in round 2 after a
+/// full fetch — so at crash time node 1's copy covers everything while
+/// node 0's (invalidated but retained) copy is missing node 1's write.
+/// A correct election picks node 1; node 0 then re-fetches and reads slot
+/// 1 fresh. `SkipHomeRebuild` elects node 0 — the first copy-holder —
+/// and forges its coverage, so node 0 serves itself stale zeros that the
+/// version gate vouches for.
+fn prog_skip_home_rebuild(c: &SvmConfig) -> RunReport {
+    run(
+        c,
+        |s| {
+            let per = s.page_size() / std::mem::size_of::<u64>();
+            let x = s.alloc_array_pages::<u64>(per, "x");
+            s.assign_home(&x, 0..per, 2);
+            x
+        },
+        |ctx: &SvmCtx<'_>, x| {
+            if ctx.node() == 0 {
+                x.set(ctx, 0, 1);
+            }
+            ctx.barrier(BarrierId(0));
+            if ctx.node() == 1 {
+                x.set(ctx, 1, 2);
+            }
+            ctx.barrier(BarrierId(1));
+            // The crash lands in the victim's compute window; survivors
+            // block at the barrier until detection excuses it.
+            if ctx.node() == 2 {
+                ctx.compute_us(1_000_000);
+            } else {
+                ctx.compute_us(100);
+            }
+            ctx.barrier(BarrierId(2));
+            if ctx.node() == 0 {
+                let _ = x.get(ctx, 1);
+            }
+            ctx.barrier(BarrierId(3));
+        },
+    )
+}
+
+/// Lock token death: node 1 caches the page, node 0 publishes under the
+/// lock, the victim acquires (absorbing node 0's records) and dies inside
+/// its critical section without writing. Node 1's acquire is queued at
+/// the holder when it dies, so lock repair regenerates the token for it.
+/// A correct regrant carries the surviving write-notice union and
+/// invalidates node 1's cached copy; `LeakDeadLockGrant` sends it empty,
+/// so node 1 reads its stale cached value inside the critical section.
+fn prog_leak_dead_grant(c: &SvmConfig) -> RunReport {
+    run(
+        c,
+        |s| {
+            let x = s.alloc_array_pages::<u64>(8, "x");
+            s.assign_home(&x, 0..8, 0);
+            x
+        },
+        |ctx: &SvmCtx<'_>, x| {
+            let _ = x.get(ctx, 0); // everyone caches the page
+            ctx.barrier(BarrierId(0));
+            match ctx.node() {
+                0 => {
+                    ctx.lock(LockId(0));
+                    x.set(ctx, 0, 9);
+                    ctx.unlock(LockId(0));
+                }
+                2 => {
+                    // Acquire after node 0's release, then die holding it.
+                    ctx.compute_us(5_000);
+                    ctx.lock(LockId(0));
+                    ctx.compute_us(1_000_000);
+                    ctx.unlock(LockId(0));
+                }
+                _ => {
+                    // Request while the victim sits in its critical
+                    // section: the forward queues at the (still live)
+                    // holder and dies with it at the 45 ms crash.
+                    ctx.compute_us(10_000);
+                    ctx.lock(LockId(0));
+                    let _ = x.get(ctx, 0);
+                    ctx.unlock(LockId(0));
+                }
+            }
+        },
+    )
+}
+
 /// Run the full mutation battery. Every outcome should satisfy
 /// [`SelfTestOutcome::detected`]; the harness and the integration tests
 /// assert exactly that.
@@ -235,6 +374,24 @@ pub fn run_selftests() -> Vec<SelfTestOutcome> {
             2,
             SeededBug::DropLockGrantRecords { nth: 0 },
             prog_drop_grant,
+        ),
+        crash_pair(
+            "skip-home-rebuild/hlrc",
+            Hlrc,
+            3,
+            SeededBug::SkipHomeRebuild,
+            2,
+            50_000,
+            prog_skip_home_rebuild,
+        ),
+        crash_pair(
+            "leak-dead-lock-grant/hlrc",
+            Hlrc,
+            3,
+            SeededBug::LeakDeadLockGrant,
+            2,
+            45_000,
+            prog_leak_dead_grant,
         ),
     ]
 }

@@ -135,6 +135,14 @@ pub struct FaultProfile {
     pub rto_us: u64,
     /// Max exponent for the exponential backoff (RTO × 2^cap ceiling).
     pub backoff_cap: u32,
+    /// Maximum retransmission timeouts per channel before the peer is
+    /// declared unreachable (reset whenever an ack makes progress). `None`
+    /// retransmits forever — the pre-crash-tolerance behavior, which hangs
+    /// on a genuinely dead peer. With a bound, exhaustion surfaces as a
+    /// structured peer-down signal: consumed by the failure detector when
+    /// [`RecoveryProfile::enabled`], reported as
+    /// [`crate::ProtocolError::PeerUnreachable`] otherwise.
+    pub max_retries: Option<u32>,
     /// Deterministically drop the first wire message whose
     /// [`crate::msg::SvmMsg::kind_name`] equals this string (targeted
     /// loss-of-each-message-type regression tests).
@@ -153,6 +161,7 @@ impl Default for FaultProfile {
             max_stall_us: 20_000,
             rto_us: 5_000,
             backoff_cap: 6,
+            max_retries: None,
             drop_first_kind: None,
         }
     }
@@ -182,6 +191,68 @@ impl FaultProfile {
     /// a targeted deterministic drop).
     pub fn is_active(&self) -> bool {
         self.network_active() || self.drop_first_kind.is_some()
+    }
+}
+
+/// What the protocol does once the failure detector declares a peer dead.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Repair and continue: re-elect homes, revoke dead nodes' lock grants,
+    /// re-form barriers on the surviving membership, and let the run finish
+    /// on the survivors (degraded stats reported). Dependencies that only
+    /// the dead node could satisfy — e.g. diffs that lived solely in a
+    /// homeless node's memory — still end the run with a structured error;
+    /// they are honestly unrecoverable.
+    Graceful,
+    /// Halt immediately with a structured [`crate::ProtocolError::NodeFailed`]
+    /// naming the dead node and the virtual time of detection. Never a hang,
+    /// never a panic.
+    FailFast,
+}
+
+/// Failure detection + recovery for one run.
+///
+/// The default is fully inactive: no heartbeat timers are armed, the
+/// reliable-delivery sublayer is not forced on, and the run is bit-identical
+/// to one under a build that never had the recovery layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryProfile {
+    /// Arm the heartbeat-based failure detector and the recovery machinery.
+    pub enabled: bool,
+    /// Heartbeat period in virtual microseconds.
+    pub heartbeat_us: u64,
+    /// A peer is declared dead after `miss_threshold` heartbeat periods
+    /// with no message of any kind from it.
+    pub miss_threshold: u32,
+    /// Repair-and-continue vs. structured halt on detection.
+    pub mode: RecoveryMode,
+}
+
+impl Default for RecoveryProfile {
+    fn default() -> Self {
+        RecoveryProfile {
+            enabled: false,
+            heartbeat_us: 200_000,
+            miss_threshold: 5,
+            mode: RecoveryMode::Graceful,
+        }
+    }
+}
+
+impl RecoveryProfile {
+    /// An enabled profile with default timing in the given mode.
+    pub fn active(mode: RecoveryMode) -> Self {
+        RecoveryProfile {
+            enabled: true,
+            mode,
+            ..RecoveryProfile::default()
+        }
+    }
+
+    /// Virtual time without any message from a peer after which it is
+    /// declared dead.
+    pub fn detection_window_us(&self) -> u64 {
+        self.heartbeat_us.saturating_mul(self.miss_threshold as u64)
     }
 }
 
@@ -221,6 +292,17 @@ pub enum SeededBug {
         /// Which lock grant loses its records, 0-based.
         nth: u32,
     },
+    /// During home failover, skip the coverage check and the rebuild from
+    /// harvested in-flight diffs: the first surviving copy-holder is
+    /// elected unconditionally and its applied vector is raised to claim
+    /// coverage it does not have — readers then fetch stale bytes that the
+    /// version gate vouches for.
+    SkipHomeRebuild,
+    /// During lock recovery, regenerate a token lost with a dead holder but
+    /// send the regrant with an empty write-notice record set: the new
+    /// holder merges the token's vector time yet never invalidates the
+    /// pages those intervals dirtied.
+    LeakDeadLockGrant,
 }
 
 /// Everything a protocol run needs to know.
@@ -240,6 +322,10 @@ pub struct SvmConfig {
     pub gc_threshold_bytes: u64,
     /// Network fault injection + reliable delivery (default: off).
     pub fault: FaultProfile,
+    /// Heartbeat failure detection + crash recovery (default: off).
+    pub recovery: RecoveryProfile,
+    /// Node crash–stop schedule executed by the machine (default: none).
+    pub node_fault: svm_machine::NodeFaultConfig,
     /// Debug logging + access-trace recording (default: log from
     /// `SVM_TRACE`, recording off).
     pub trace: crate::trace::TraceConfig,
@@ -261,6 +347,8 @@ impl SvmConfig {
             // well before exhausting memory.
             gc_threshold_bytes: 8 << 20,
             fault: FaultProfile::default(),
+            recovery: RecoveryProfile::default(),
+            node_fault: svm_machine::NodeFaultConfig::default(),
             trace: crate::trace::TraceConfig::default(),
             mutation: None,
         }

@@ -32,8 +32,12 @@ pub mod trace;
 pub mod vt;
 
 pub use api::{BarrierId, LockId, SvmCtx};
-pub use config::{FaultProfile, HomePolicy, ProtocolKind, ProtocolName, SeededBug, SvmConfig};
+pub use config::{
+    FaultProfile, HomePolicy, ProtocolKind, ProtocolName, RecoveryMode, RecoveryProfile, SeededBug,
+    SvmConfig,
+};
 pub use metrics::{MemoryStats, NodeCounters, ProtocolReport};
+pub use protocol::recovery::RecoveryStats;
 pub use protocol::reliable::{RetransmitEvent, Wire};
 pub use protocol::ProtocolError;
 pub use runner::{run, RunReport, Setup};

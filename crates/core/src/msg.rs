@@ -193,6 +193,17 @@ pub enum SvmMsg {
         applied: Vec<(NodeId, u32)>,
     },
 
+    // ---- crash recovery ----
+    /// Failure-detector verdict, broadcast by the detecting node (and posted
+    /// to itself): `dead` has crashed. Each receiver runs its local share of
+    /// recovery — applying harvested in-flight diffs if it is a page's new
+    /// home, adopting the barrier, repairing locks it manages, re-driving
+    /// its own orphaned fetches.
+    NodeDown {
+        /// The node declared dead.
+        dead: NodeId,
+    },
+
     // ---- intra-node posts (overlapped protocols; never on the wire) ----
     /// Diff work for the pages of one just-ended interval (posted cpu ->
     /// co-processor). The diff *content* is frozen at interval end — the
@@ -239,6 +250,7 @@ impl SvmMsg {
             SvmMsg::DiffFlush { .. } => "diff-flush(to home)",
             SvmMsg::HomeRequest { .. } => "page-request(to home)",
             SvmMsg::HomeReply { .. } => "page-reply(from home)",
+            SvmMsg::NodeDown { .. } => "node-down",
             SvmMsg::DiffTask { .. } => "diff-task(post to coproc)",
         }
     }
@@ -264,6 +276,7 @@ impl Message for SvmMsg {
             }
             SvmMsg::DiffFlush { diff, .. } => 16 + diff.wire_bytes(),
             SvmMsg::HomeRequest { need, .. } => 16 + 8 * need.len(),
+            SvmMsg::NodeDown { .. } => 12,
             SvmMsg::DiffTask { .. } => 0, // intra-node only
         }
     }
@@ -282,6 +295,7 @@ impl Message for SvmMsg {
             | SvmMsg::DiffRequest { .. }
             | SvmMsg::PageRequest { .. }
             | SvmMsg::HomeRequest { .. }
+            | SvmMsg::NodeDown { .. }
             | SvmMsg::DiffTask { .. } => TrafficClass::Protocol,
         }
     }

@@ -10,6 +10,7 @@ pub mod fault;
 pub mod gc;
 pub mod home;
 pub mod interval;
+pub mod recovery;
 pub mod reliable;
 pub mod state;
 pub mod sync;
@@ -25,6 +26,7 @@ use crate::msg::{SvmMsg, SvmReq};
 use crate::trace::NodeRecorder;
 use crate::vt::VectorTime;
 
+use recovery::RecoveryState;
 use reliable::ReliableNet;
 use state::{DirEntry, ProtoNode};
 
@@ -65,6 +67,44 @@ pub enum ProtocolError {
         /// The requested page.
         page: PageNum,
     },
+    /// A reliable channel exhausted its retry budget (or a send targeted a
+    /// node already declared dead) with recovery disabled — the peer is
+    /// unreachable and the protocol cannot make progress without it.
+    PeerUnreachable {
+        /// The node whose channel gave up.
+        node: NodeId,
+        /// The unreachable peer.
+        peer: NodeId,
+    },
+    /// Fail-fast mode: the failure detector declared a node dead.
+    NodeFailed {
+        /// The dead node.
+        node: NodeId,
+        /// Virtual time of the declaration, in microseconds.
+        at_us: u64,
+    },
+    /// Graceful recovery could not reconstruct a page: no surviving copy
+    /// (advanced by harvested in-flight diffs) covers the survivors'
+    /// version needs, or a homeless fault was waiting on the dead
+    /// validator's only base copy.
+    UnrecoverablePage {
+        /// The node the loss was detected for (the dead home on election
+        /// failure; the waiting faulter on a homeless fetch).
+        node: NodeId,
+        /// The unrecoverable page.
+        page: PageNum,
+    },
+    /// Graceful recovery found a fault waiting on diffs that existed only
+    /// in the dead node's diff store (homeless protocols keep diffs at
+    /// their writer until garbage collection).
+    UnrecoverableDiffs {
+        /// The waiting node.
+        node: NodeId,
+        /// The page being validated.
+        page: PageNum,
+        /// The dead writer whose diffs are gone.
+        writer: NodeId,
+    },
 }
 
 impl ProtocolError {
@@ -74,7 +114,11 @@ impl ProtocolError {
             ProtocolError::RecursiveLockAcquire { node, .. }
             | ProtocolError::MappingFailed { node, .. }
             | ProtocolError::UnexpectedDiffReply { node, .. }
-            | ProtocolError::StalePageRequest { node, .. } => *node,
+            | ProtocolError::StalePageRequest { node, .. }
+            | ProtocolError::PeerUnreachable { node, .. }
+            | ProtocolError::NodeFailed { node, .. }
+            | ProtocolError::UnrecoverablePage { node, .. }
+            | ProtocolError::UnrecoverableDiffs { node, .. } => *node,
         }
     }
 }
@@ -102,6 +146,26 @@ impl std::fmt::Display for ProtocolError {
                     page.0
                 )
             }
+            ProtocolError::PeerUnreachable { node, peer } => {
+                write!(f, "node {node:?}: peer node {} is unreachable", peer.0)
+            }
+            ProtocolError::NodeFailed { node, at_us } => {
+                write!(f, "node {node:?} declared dead at {at_us}us (fail-fast)")
+            }
+            ProtocolError::UnrecoverablePage { node, page } => {
+                write!(
+                    f,
+                    "node {node:?}: page {} is unrecoverable (no surviving covering copy)",
+                    page.0
+                )
+            }
+            ProtocolError::UnrecoverableDiffs { node, page, writer } => {
+                write!(
+                    f,
+                    "node {node:?}: page {} needs diffs that died with writer node {}",
+                    page.0, writer.0
+                )
+            }
         }
     }
 }
@@ -126,6 +190,11 @@ pub struct BarrierState {
     /// would let the manager's lock grants hand out records it has not
     /// causally seen, without their happens-before predecessors.
     pub archive: std::collections::BTreeMap<(u16, u32), std::rc::Rc<crate::msg::IntervalRec>>,
+    /// Archive bytes charged to each node's memory accounting this round.
+    /// Arrivals charge whichever node holds the manager seat at the time;
+    /// release refunds exactly what each node was charged, so the books
+    /// balance even when the seat fails over mid-round.
+    pub archive_bytes: Vec<i64>,
 }
 
 impl BarrierState {
@@ -138,6 +207,7 @@ impl BarrierState {
             gc_wanted: false,
             gc_cost: vec![SimDuration::ZERO; nodes],
             archive: std::collections::BTreeMap::new(),
+            archive_bytes: vec![0; nodes],
         }
     }
 }
@@ -196,6 +266,8 @@ pub struct SvmAgent {
     pub golden: Vec<u8>,
     /// Reliable-delivery state (inactive on a fault-free run).
     pub net: ReliableNet,
+    /// Failure-detector and crash-recovery state.
+    pub recovery: RecoveryState,
     /// Structured protocol errors detected this run.
     pub errors: Vec<ProtocolError>,
     /// Per-node trace recorders (`Some` iff `cfg.trace.record`), shared
@@ -264,7 +336,8 @@ impl SvmAgent {
             barrier_marks: vec![Vec::new(); nodes],
             barrier: BarrierState::new(nodes),
             lock_mgr: std::collections::BTreeMap::new(),
-            net: ReliableNet::new(&cfg.fault),
+            net: ReliableNet::new(&cfg.fault, cfg.recovery.enabled),
+            recovery: RecoveryState::new(nodes),
             errors: Vec::new(),
             recorders,
             lock_seqs: LockSeqs::default(),
@@ -462,6 +535,28 @@ impl SvmAgent {
         }
     }
 
+    /// Whether the seeded bug says to elect a failover home without
+    /// checking (or completing) version coverage.
+    pub fn bug_skip_home_rebuild(&mut self) -> bool {
+        if matches!(self.cfg.mutation, Some(SeededBug::SkipHomeRebuild)) {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the seeded bug says to strip the write notices from a
+    /// regenerated (post-crash) lock grant.
+    pub fn bug_leak_dead_lock_grant(&mut self) -> bool {
+        if matches!(self.cfg.mutation, Some(SeededBug::LeakDeadLockGrant)) {
+            self.mutation.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Message dispatch shared by `on_message` and local shortcuts.
     fn dispatch(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, msg: SvmMsg) {
         if self.cfg.trace.debug_log {
@@ -542,6 +637,7 @@ impl SvmAgent {
                 debug_assert_eq!(from.node, at.node);
                 self.on_diff_task(ctx, at.node, interval, vt, items)
             }
+            SvmMsg::NodeDown { dead } => self.on_node_down(ctx, at.node, dead),
         }
     }
 }
@@ -562,7 +658,25 @@ impl Agent for SvmAgent {
     }
 
     fn on_timer(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, token: u64) {
-        self.on_net_timer(ctx, at, token);
+        if token == recovery::HB_TOKEN {
+            self.on_heartbeat_tick(ctx, at);
+        } else {
+            self.on_net_timer(ctx, at, token);
+        }
+    }
+
+    fn on_init(&mut self, ctx: &mut MCtx<'_>, node: NodeId) {
+        // Arming the detector only when recovery is configured keeps
+        // recovery-off runs event-for-event identical to the pre-recovery
+        // protocol.
+        let _ = node;
+        if self.recovery_active() {
+            self.arm_heartbeat(ctx);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut MCtx<'_>, node: NodeId) {
+        self.on_node_restart(ctx, node);
     }
 
     fn on_request(&mut self, ctx: &mut MCtx<'_>, node: NodeId, req: SvmReq) {

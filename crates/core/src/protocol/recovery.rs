@@ -1,0 +1,691 @@
+//! Crash recovery: failure detection, home failover, lock/barrier repair.
+//!
+//! The paper's protocols assume immortal peers; this module makes the four
+//! protocols *react* to crash-stop failures injected by
+//! `svm_machine::nodefault`. The pieces, in the order they fire:
+//!
+//! 1. **Failure detection.** Every node heartbeats every peer each
+//!    [`crate::RecoveryProfile::heartbeat_us`] of virtual time
+//!    ([`super::reliable::Wire::Heartbeat`]); any message from a live peer
+//!    refreshes its last-heard clock. A peer silent for
+//!    `miss_threshold × heartbeat_us` is declared dead — as is one whose
+//!    reliable channel exhausts `max_retries` timeouts without ack
+//!    progress. Detection is a pure function of virtual time, so the same
+//!    seed detects the same death at the same instant, every run.
+//! 2. **Declaration** ([`SvmAgent::declare_dead`]). In fail-fast mode the
+//!    run halts with a structured [`ProtocolError::NodeFailed`]. In
+//!    graceful mode the detector performs the *state* surgery — channel
+//!    harvest, home failover, unrecoverability scan — and broadcasts
+//!    [`SvmMsg::NodeDown`]; each survivor then performs its own *actions*
+//!    (applying harvested diffs at new homes, adopting the barrier,
+//!    repairing locks it manages, re-driving its orphaned fetches) in its
+//!    own handler, so every send is attributed to the node that would
+//!    really issue it.
+//! 3. **Home failover.** For each page homed at the dead node, the new home
+//!    is the first (ascending id) surviving copy-holder whose `applied`
+//!    vector — advanced by harvested in-flight diffs that chain onto it in
+//!    writer order — covers the maximal `seen` over survivors. A writer's
+//!    own copy always contains its own flushed intervals (writes land in
+//!    place before the diff is made), which is what usually makes a
+//!    covering candidate exist. No candidate ⇒ the page's current bytes
+//!    died with the home: structured [`ProtocolError::UnrecoverablePage`].
+//! 4. **Lock/barrier repair.** Locks whose token died with the node (held,
+//!    or granted in flight to it) are regenerated to the first orphaned
+//!    acquirer with a freshly selected write-notice set; requests lost in
+//!    the dead node's queues re-enter through the normal manager path.
+//!    Barrier state is modeled as replicated at the manager seat (the
+//!    centralized manager of paper Section 3.5 made highly available): the
+//!    next surviving node adopts it, counts harvested arrivals, and
+//!    releases on the surviving membership.
+//!
+//! What is deliberately *not* recovered: state that existed only in the
+//! dead node's memory. A homeless (LRC/OLRC) run whose survivors need the
+//! dead node's stored diffs, or a home-based run whose only covering copy
+//! died, ends in a structured error — graceful degradation means honest
+//! termination, never fabricated data.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use svm_machine::{Category, NodeId, ProcAddr};
+use svm_mem::{Access, Diff, PageNum};
+use svm_sim::{SimDuration, SimTime};
+
+use crate::api::LockId;
+use crate::config::RecoveryMode;
+use crate::msg::{IntervalRec, SvmMsg};
+use crate::vt::VectorTime;
+
+use super::reliable::Wire;
+use super::state::{FaultStage, TokenState, WriterMap};
+use super::{MCtx, ProtocolError, SvmAgent};
+
+/// Timer token reserved for heartbeat ticks. Retransmit tokens are
+/// allocated upward from zero and can never reach it (the allocator would
+/// have to survive 2^63 arms).
+pub const HB_TOKEN: u64 = 1 << 63;
+
+/// What recovery did during a run (reported on `RunReport`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Peers declared dead.
+    pub deaths: u64,
+    /// Pages re-homed by failover elections.
+    pub rehomed_pages: u64,
+    /// In-flight diff flushes harvested from unacked channels at
+    /// declaration time.
+    pub harvested_diffs: u64,
+    /// Lock tokens regenerated after dying with their holder (or with a
+    /// grant in flight to a dead acquirer).
+    pub revoked_grants: u64,
+    /// Orphaned page fetches re-driven at their new homes.
+    pub refetches: u64,
+    /// Deliveries dropped because the sender was already declared dead.
+    pub fenced_messages: u64,
+    /// Sends suppressed because the destination was declared dead (each
+    /// one raises a structured `PeerUnreachable` error).
+    pub fenced_sends: u64,
+}
+
+/// Failure-detector and recovery state, shared across the simulated nodes
+/// (per-node views are indexed by node).
+pub struct RecoveryState {
+    /// Liveness as declared by the failure detector (not ground truth:
+    /// a crashed node stays `true` until detected).
+    pub alive: Vec<bool>,
+    /// `last_heard[n][p]`: when node `n` last heard anything from `p`.
+    pub last_heard: Vec<Vec<SimTime>>,
+    /// Declared deaths, in detection order.
+    pub deaths: Vec<(NodeId, SimTime)>,
+    /// Harvested in-flight diff flushes `(page, writer, interval, diff)`,
+    /// sorted; applied by each page's new home in its `NodeDown` handler.
+    pub(crate) pending_flushes: Vec<(PageNum, NodeId, u32, Diff)>,
+    /// Harvested barrier arrivals addressed to a dead manager; counted by
+    /// the adopting manager.
+    pub(crate) pending_arrivals: Vec<SvmMsg>,
+    /// Locks whose grant to the dead node was harvested (token-lost
+    /// evidence), with the grant's causal time.
+    pub(crate) lost_grants: BTreeMap<u32, VectorTime>,
+    /// Harvested lock acquires `(lock, requester, vt)` that never reached
+    /// the dead node; re-driven through the manager during lock repair.
+    pub(crate) orphaned_acquires: Vec<(u32, NodeId, VectorTime)>,
+    /// `(node, page)` home fetches orphaned by a dead home, re-driven by
+    /// their owner in its `NodeDown` handler.
+    pub(crate) refetch: Vec<(NodeId, PageNum)>,
+    /// Counters.
+    pub stats: RecoveryStats,
+}
+
+impl RecoveryState {
+    /// Fresh state for `nodes` nodes, everyone alive.
+    pub fn new(nodes: usize) -> Self {
+        RecoveryState {
+            alive: vec![true; nodes],
+            last_heard: vec![vec![SimTime::ZERO; nodes]; nodes],
+            deaths: Vec::new(),
+            pending_flushes: Vec::new(),
+            pending_arrivals: Vec::new(),
+            lost_grants: BTreeMap::new(),
+            orphaned_acquires: Vec::new(),
+            refetch: Vec::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+}
+
+impl SvmAgent {
+    /// Whether the failure detector and recovery machinery are armed.
+    pub fn recovery_active(&self) -> bool {
+        self.cfg.recovery.enabled
+    }
+
+    /// Arm the calling node's next heartbeat tick.
+    pub(crate) fn arm_heartbeat(&mut self, ctx: &mut MCtx<'_>) {
+        let period = SimDuration::from_micros(self.cfg.recovery.heartbeat_us);
+        ctx.set_timer(period, HB_TOKEN);
+    }
+
+    /// One heartbeat period elapsed on `at`'s node: check peers for
+    /// staleness, probe the live ones, rearm.
+    pub(crate) fn on_heartbeat_tick(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr) {
+        let n = at.node;
+        if !self.recovery.alive[n.index()] {
+            return; // declared dead while the tick was queued
+        }
+        if ctx.apps_done() {
+            return; // run is over: stop rearming so the event queue drains
+        }
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        let now = ctx.now();
+        let window = SimDuration::from_micros(self.cfg.recovery.detection_window_us());
+        let stale: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&p| p != n.index() && self.recovery.alive[p])
+            .filter(|&p| now.since(self.recovery.last_heard[n.index()][p]) >= window)
+            .map(|p| NodeId(p as u16))
+            .collect();
+        for p in stale {
+            if self.recovery.alive[p.index()] {
+                self.declare_dead(ctx, p);
+            }
+        }
+        for p in 0..self.cfg.nodes {
+            if p == n.index() || !self.recovery.alive[p] {
+                continue;
+            }
+            self.counters[n.index()].heartbeats_sent += 1;
+            ctx.send(ProcAddr::cpu(NodeId(p as u16)), Wire::Heartbeat);
+        }
+        self.arm_heartbeat(ctx);
+    }
+
+    /// A restarted node rejoins as a warm standby: its heartbeat timer died
+    /// with the crash epoch, and its last-heard clocks are stale enough to
+    /// declare the whole world dead on the first tick. Refresh both. A node
+    /// already declared dead by the survivors stays fenced — the membership
+    /// decision is final for the run.
+    pub(crate) fn on_node_restart(&mut self, ctx: &mut MCtx<'_>, node: NodeId) {
+        if !self.recovery_active() || !self.recovery.alive[node.index()] {
+            return;
+        }
+        let now = ctx.now();
+        for p in 0..self.cfg.nodes {
+            self.recovery.last_heard[node.index()][p] = now;
+        }
+        self.arm_heartbeat(ctx);
+    }
+
+    /// Retry exhaustion from the reliable layer: with recovery armed it is
+    /// a failure-detector input; without, a structured error.
+    pub(crate) fn peer_down(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, peer: NodeId) {
+        if self.recovery_active() {
+            self.declare_dead(ctx, peer);
+        } else {
+            self.protocol_error(
+                ctx,
+                ProtocolError::PeerUnreachable {
+                    node: at.node,
+                    peer,
+                },
+            );
+        }
+    }
+
+    /// The failure detector's verdict: `dead` is gone. Idempotent. In
+    /// graceful mode this performs the pure *state* surgery (harvest,
+    /// refetch list, unrecoverability scan, home failover) and broadcasts
+    /// [`SvmMsg::NodeDown`]; the *actions* run in each survivor's handler.
+    pub(crate) fn declare_dead(&mut self, ctx: &mut MCtx<'_>, dead: NodeId) {
+        if !self.recovery.alive[dead.index()] {
+            return;
+        }
+        self.recovery.alive[dead.index()] = false;
+        let now = ctx.now();
+        self.recovery.deaths.push((dead, now));
+        self.recovery.stats.deaths += 1;
+        if self.cfg.trace.debug_log {
+            eprintln!(
+                "T {:>12.3}us  node {} declared DEAD",
+                now.as_nanos() as f64 / 1e3,
+                dead.0
+            );
+        }
+        if self.cfg.recovery.mode == RecoveryMode::FailFast {
+            self.protocol_error(
+                ctx,
+                ProtocolError::NodeFailed {
+                    node: dead,
+                    at_us: now.as_nanos() / 1_000,
+                },
+            );
+            return;
+        }
+        // Mark the crash on the recorded trace so the checker can excuse
+        // the node from the barriers it will never reach. (A synthetic
+        // lock release may follow during repair; the replayer treats
+        // releases as always ready, so the order is immaterial.)
+        if self.recording() {
+            self.with_recorder(dead, |r| r.crash(now));
+        }
+        self.harvest_channels(ctx, dead);
+        self.scan_unrecoverable(ctx, dead);
+        self.failover_homes(ctx, dead);
+        for p in 0..self.cfg.nodes {
+            if !self.recovery.alive[p] {
+                continue;
+            }
+            self.send_or_local(
+                ctx,
+                ProcAddr::cpu(NodeId(p as u16)),
+                SvmMsg::NodeDown { dead },
+            );
+        }
+    }
+
+    /// Take the unacked buffers of every live channel into the dead node:
+    /// those messages were provably never processed there (an ack would
+    /// have cleared them), so they are exactly the in-flight state recovery
+    /// may re-route. Diff flushes feed the failover rebuild, barrier
+    /// arrivals the adopting manager, lock traffic the lock repair;
+    /// everything else is discarded (its sender's dependency either
+    /// resolves elsewhere or surfaces as a structured error). Channels out
+    /// of the dead node are disarmed and dropped wholesale.
+    fn harvest_channels(&mut self, ctx: &mut MCtx<'_>, dead: NodeId) {
+        let chans: Vec<(bool, usize)> = self
+            .net
+            .index
+            .iter()
+            .filter(|((from, to), _)| (to.node == dead) != (from.node == dead))
+            .map(|((from, _), &i)| (from.node == dead, i))
+            .collect();
+        for (from_dead, i) in chans {
+            if let Some((ev, token)) = self.net.chans[i].armed.take() {
+                ctx.cancel_timer(ev);
+                self.net.tokens.disarm(token);
+            }
+            let unacked = std::mem::take(&mut self.net.chans[i].unacked);
+            if from_dead {
+                continue; // outbound from the dead node: dropped
+            }
+            for (_seq, msg) in unacked {
+                match msg {
+                    SvmMsg::DiffFlush {
+                        page,
+                        writer,
+                        interval,
+                        diff,
+                    } => {
+                        self.recovery.stats.harvested_diffs += 1;
+                        self.recovery
+                            .pending_flushes
+                            .push((page, writer, interval, diff));
+                    }
+                    SvmMsg::BarrierArrive { .. } => self.recovery.pending_arrivals.push(msg),
+                    SvmMsg::LockGrant { lock, vt, .. } => {
+                        self.recovery.lost_grants.insert(lock.0, vt);
+                    }
+                    SvmMsg::LockRequest {
+                        lock,
+                        requester,
+                        vt,
+                    }
+                    | SvmMsg::LockForward {
+                        lock,
+                        requester,
+                        vt,
+                    } => {
+                        self.recovery
+                            .orphaned_acquires
+                            .push((lock.0, requester, vt));
+                    }
+                    SvmMsg::BarrierRelease { .. }
+                    | SvmMsg::DiffRequest { .. }
+                    | SvmMsg::DiffReply { .. }
+                    | SvmMsg::PageRequest { .. }
+                    | SvmMsg::PageReply { .. }
+                    | SvmMsg::HomeRequest { .. }
+                    | SvmMsg::HomeReply { .. }
+                    | SvmMsg::NodeDown { .. }
+                    | SvmMsg::DiffTask { .. } => {}
+                }
+            }
+        }
+        // Deterministic application order at the new homes: diffs chain per
+        // writer by ascending interval.
+        self.recovery
+            .pending_flushes
+            .sort_by_key(|&(p, w, i, _)| (p.0, w.0, i));
+    }
+
+    /// Dependencies only the dead node could satisfy become structured
+    /// errors now, instead of hangs later: a homeless fault waiting on the
+    /// dead validator's base copy, or on diffs that live only in the dead
+    /// node's diff store.
+    fn scan_unrecoverable(&mut self, ctx: &mut MCtx<'_>, dead: NodeId) {
+        for p in 0..self.cfg.nodes {
+            if !self.recovery.alive[p] {
+                continue;
+            }
+            let Some(f) = &self.nodes_st[p].fault else {
+                continue;
+            };
+            let (page, stage) = (f.page, &f.stage);
+            let err = match stage {
+                FaultStage::AwaitPage if self.dir[page.0 as usize].validator == dead => {
+                    Some(ProtocolError::UnrecoverablePage {
+                        node: NodeId(p as u16),
+                        page,
+                    })
+                }
+                FaultStage::AwaitDiffs { .. } => {
+                    let st = &self.nodes_st[p].pages[page.0 as usize];
+                    (st.seen.get(dead) > st.applied.get(dead)).then_some(
+                        ProtocolError::UnrecoverableDiffs {
+                            node: NodeId(p as u16),
+                            page,
+                            writer: dead,
+                        },
+                    )
+                }
+                _ => None,
+            };
+            if let Some(err) = err {
+                self.protocol_error(ctx, err);
+                return;
+            }
+        }
+    }
+
+    /// Re-elect a home for every page homed at the dead node, and list the
+    /// orphaned fetches (computed against the *pre*-failover directory so
+    /// only truly lost requests are re-driven — a fetch to a live home must
+    /// not be duplicated).
+    fn failover_homes(&mut self, ctx: &mut MCtx<'_>, dead: NodeId) {
+        for p in 0..self.cfg.nodes {
+            if !self.recovery.alive[p] {
+                continue;
+            }
+            if let Some(f) = &self.nodes_st[p].fault {
+                if matches!(f.stage, FaultStage::AwaitHome)
+                    && self.dir[f.page.0 as usize].home == Some(dead)
+                {
+                    self.recovery.refetch.push((NodeId(p as u16), f.page));
+                }
+            }
+        }
+        // Harvested in-flight flushes by page, for the coverage simulation.
+        let mut harvest: BTreeMap<u32, Vec<(NodeId, u32)>> = BTreeMap::new();
+        for &(page, w, i, _) in &self.recovery.pending_flushes {
+            harvest.entry(page.0).or_default().push((w, i));
+        }
+        let ps = self.page_size() as i64;
+        let auto = self.cfg.protocol.auto_update();
+        for pg in 0..self.num_pages {
+            if self.dir[pg as usize].home != Some(dead) {
+                continue;
+            }
+            let mut need = WriterMap::default();
+            for n in 0..self.cfg.nodes {
+                if self.recovery.alive[n] {
+                    need.merge_max(&self.nodes_st[n].pages[pg as usize].seen.to_vec());
+                }
+            }
+            let needv = need.to_vec();
+            let bug = self.bug_skip_home_rebuild();
+            let mut elected = None;
+            for c in 0..self.cfg.nodes {
+                if !self.recovery.alive[c] || self.nodes_st[c].pages[pg as usize].buf.is_none() {
+                    continue;
+                }
+                if bug {
+                    // Mutation: first copy-holder wins, coverage unchecked.
+                    elected = Some(NodeId(c as u16));
+                    break;
+                }
+                let mut cov = self.nodes_st[c].pages[pg as usize].applied.clone();
+                for &(w, i) in harvest.get(&pg).map_or(&[][..], |v| v) {
+                    if cov.get(w) == i - 1 {
+                        cov.raise(w, i);
+                    }
+                }
+                if cov.covers(&needv) {
+                    elected = Some(NodeId(c as u16));
+                    break;
+                }
+            }
+            let Some(c) = elected else {
+                self.protocol_error(
+                    ctx,
+                    ProtocolError::UnrecoverablePage {
+                        node: dead,
+                        page: PageNum(pg),
+                    },
+                );
+                return;
+            };
+            self.dir[pg as usize].home = Some(c);
+            self.dir[pg as usize].validator = c;
+            self.recovery.stats.rehomed_pages += 1;
+            // The new home's copy becomes the master: in-place writes, no
+            // twin (matching a home page's steady state).
+            let had_twin = self.nodes_st[c.index()].pages[pg as usize]
+                .twin
+                .take()
+                .is_some();
+            if had_twin && !auto {
+                self.counters[c.index()].mem.twins(-ps);
+            }
+            if bug {
+                // Mutation: claim coverage without the bytes.
+                self.recovery.pending_flushes.retain(|&(p, ..)| p.0 != pg);
+                let st = &mut self.nodes_st[c.index()].pages[pg as usize];
+                st.seen.merge_max(&needv);
+                st.applied.merge_max(&needv);
+            } else {
+                let st = &mut self.nodes_st[c.index()].pages[pg as usize];
+                st.seen.merge_max(&needv);
+            }
+            let st = &mut self.nodes_st[c.index()].pages[pg as usize];
+            let covered = st.applied.covers(&st.seen.to_vec());
+            st.home_stale = !covered;
+            if covered && st.access == Access::Invalid {
+                // The copy is complete: a home must be able to serve (and
+                // read) it even if an old notice had invalidated the
+                // mapping.
+                st.access = Access::ReadOnly;
+            }
+        }
+    }
+
+    /// A `NodeDown` verdict reached node `n`: run its local share of the
+    /// recovery actions.
+    pub(crate) fn on_node_down(&mut self, ctx: &mut MCtx<'_>, n: NodeId, dead: NodeId) {
+        let overhead = ctx.cost().handler_overhead;
+        ctx.work(overhead, Category::Protocol);
+        // 1. Pages this node now homes: apply the harvested in-flight
+        //    diffs, in writer order, skipping what the copy already has.
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.pending_flushes)
+            .into_iter()
+            .partition(|&(page, ..)| self.dir[page.0 as usize].home == Some(n));
+        self.recovery.pending_flushes = rest;
+        for (page, writer, interval, diff) in mine {
+            let applied = self.nodes_st[n.index()].pages[page.0 as usize]
+                .applied
+                .get(writer);
+            if applied + 1 == interval {
+                self.on_diff_flush(ctx, n, page, writer, interval, diff);
+            }
+            // Older: already reflected in the copy (re-applying could
+            // regress later same-address writes). Newer with a gap: never
+            // counted by the election, unreachable coverage — skip.
+        }
+        // 2. Barrier adoption at the (possibly new) manager seat.
+        if self.barrier_manager() == n {
+            let arrivals = std::mem::take(&mut self.recovery.pending_arrivals);
+            for msg in arrivals {
+                if let SvmMsg::BarrierArrive {
+                    barrier,
+                    node,
+                    vt,
+                    records,
+                    proto_mem,
+                } = msg
+                {
+                    if self.barrier.arrived[node.index()].is_some() {
+                        continue; // counted before the crash
+                    }
+                    self.on_barrier_arrive(ctx, barrier, node, vt, records, proto_mem);
+                }
+            }
+            // The dead node's missing arrival may have been the last gap.
+            if let Some(b) = self.barrier.current {
+                if self.barrier_ready() {
+                    self.release_barrier(ctx, b);
+                }
+            }
+        }
+        // 3. Locks this node manages (including ones adopted from the dead
+        //    manager seat).
+        let locks: Vec<u32> = self
+            .lock_mgr
+            .keys()
+            .copied()
+            .filter(|&l| self.manager_of(LockId(l)) == n)
+            .collect();
+        for l in locks {
+            self.repair_lock(ctx, n, l, dead);
+        }
+        // 4. This node's own fetch orphaned by the dead home: re-drive it
+        //    against the re-elected home (the version gate holds it until
+        //    the harvested diffs have landed).
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.refetch)
+            .into_iter()
+            .partition(|&(node, _)| node == n);
+        self.recovery.refetch = rest;
+        for (_, page) in mine {
+            self.recovery.stats.refetches += 1;
+            self.start_home_fetch(ctx, n, page);
+        }
+    }
+
+    /// Repair one lock after `dead`'s crash, at its (current) manager `m`:
+    /// scrub the dead node from every queue, re-drive acquires that were
+    /// lost in its queues or inbound channels, and — if the token died with
+    /// it — regenerate the token for the first orphaned acquirer with a
+    /// freshly selected write-notice set.
+    fn repair_lock(&mut self, ctx: &mut MCtx<'_>, m: NodeId, l: u32, dead: NodeId) {
+        // The dead node's own queue joins the orphans; its state is frozen
+        // out so it can never grant again.
+        let (dead_token, mut orphans) = match self.nodes_st[dead.index()].locks.get_mut(&l) {
+            Some(st) => {
+                let t = st.token;
+                st.token = TokenState::Absent;
+                let mut v: Vec<(NodeId, VectorTime)> = st.waiters.drain(..).collect();
+                v.append(&mut st.early_forwards);
+                (t, v)
+            }
+            None => (TokenState::Absent, Vec::new()),
+        };
+        // Scrub dead from live queues, remembering which holder had it
+        // queued (that holder is the real end of the surviving chain).
+        let mut queued_at: Option<NodeId> = None;
+        for p in 0..self.cfg.nodes {
+            if p == dead.index() || !self.recovery.alive[p] {
+                continue;
+            }
+            if let Some(st) = self.nodes_st[p].locks.get_mut(&l) {
+                let before = st.waiters.len() + st.early_forwards.len();
+                st.waiters.retain(|(w, _)| *w != dead);
+                st.early_forwards.retain(|(w, _)| *w != dead);
+                if st.waiters.len() + st.early_forwards.len() < before {
+                    queued_at = Some(NodeId(p as u16));
+                }
+            }
+        }
+        // Acquires harvested from the dead node's inbound channels.
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.orphaned_acquires)
+            .into_iter()
+            .partition(|&(lk, ..)| lk == l);
+        self.recovery.orphaned_acquires = rest;
+        orphans.extend(mine.into_iter().map(|(_, w, vt)| (w, vt)));
+        orphans.retain(|(w, _)| self.recovery.alive[w.index()]);
+        let mut seen_nodes = BTreeSet::new();
+        orphans.retain(|(w, _)| seen_nodes.insert(w.0));
+
+        let live_holder = (0..self.cfg.nodes)
+            .filter(|&p| self.recovery.alive[p])
+            .find(|&p| {
+                self.nodes_st[p]
+                    .locks
+                    .get(&l)
+                    .is_some_and(|s| s.token != TokenState::Absent)
+            })
+            .map(|p| NodeId(p as u16));
+        let lost_grant_vt = self.recovery.lost_grants.remove(&l);
+        let token_lost =
+            live_holder.is_none() && (dead_token != TokenState::Absent || lost_grant_vt.is_some());
+
+        if !token_lost {
+            // Token is safe with (or in flight between) survivors; just fix
+            // a chain tail that pointed at the dead node and re-enter the
+            // lost acquires through the normal manager path.
+            // INVARIANT: repair iterates lock_mgr's own keys.
+            let entry = self.lock_mgr.get_mut(&l).expect("repair of unknown lock");
+            if entry.tail == dead {
+                entry.tail = queued_at.or(live_holder).unwrap_or(m);
+            }
+            for (w, vt) in orphans {
+                self.mgr_lock_request(ctx, m, LockId(l), w, vt);
+            }
+            return;
+        }
+
+        // The token died with the dead node: regenerate it.
+        self.recovery.stats.revoked_grants += 1;
+        if self.recording() && self.lock_seqs.held.contains_key(&(dead.0, l)) {
+            // Synthetic release so the successor's acquisition has its
+            // happens-after edge in the recorded trace.
+            let seq = self.lock_seq_release(dead, l);
+            let vt = self.nodes_st[dead.index()].vt.clone();
+            let at = ctx.now();
+            self.with_recorder(dead, |r| r.release(l, seq, vt, at));
+        }
+        let token_vt = if dead_token != TokenState::Absent {
+            self.nodes_st[dead.index()].vt.clone()
+        } else {
+            // INVARIANT: token_lost without a held token implies a harvested grant.
+            lost_grant_vt.expect("token lost without a harvested grant")
+        };
+        match orphans.split_first() {
+            None => {
+                // Nobody is waiting: the token reseats at the manager.
+                self.nodes_st[m.index()].lock(l).token = TokenState::HeldFree;
+                // INVARIANT: repair iterates lock_mgr's own keys.
+                self.lock_mgr.get_mut(&l).expect("repair").tail = m;
+            }
+            Some((first, others)) => {
+                let (first, first_vt) = first.clone();
+                // INVARIANT: repair iterates lock_mgr's own keys.
+                self.lock_mgr.get_mut(&l).expect("repair").tail = first;
+                let mut records = self.records_union_for(&first_vt);
+                if self.bug_leak_dead_lock_grant() {
+                    records.clear();
+                }
+                let grant = SvmMsg::LockGrant {
+                    lock: LockId(l),
+                    vt: token_vt,
+                    records,
+                };
+                self.send_or_local(ctx, ProcAddr::cpu(first), grant);
+                for (w, vt) in others.iter().cloned() {
+                    self.mgr_lock_request(ctx, m, LockId(l), w, vt);
+                }
+            }
+        }
+    }
+
+    /// Write notices a regenerated grant must carry: the union over the
+    /// survivors' forwarding logs (plus the barrier manager's archive) of
+    /// every record past the requester's vector time. A superset of what
+    /// the dead holder would have selected is safe — record processing is
+    /// idempotent per `(writer, interval)`.
+    fn records_union_for(&self, peer_vt: &VectorTime) -> Vec<Rc<IntervalRec>> {
+        let mut out: BTreeMap<(u16, u32), Rc<IntervalRec>> = BTreeMap::new();
+        for p in 0..self.cfg.nodes {
+            if !self.recovery.alive[p] {
+                continue;
+            }
+            for (&(w, i), rec) in &self.nodes_st[p].log {
+                if i > peer_vt.get(NodeId(w)) {
+                    out.entry((w, i)).or_insert_with(|| rec.clone());
+                }
+            }
+        }
+        for (&(w, i), rec) in &self.barrier.archive {
+            if i > peer_vt.get(NodeId(w)) {
+                out.entry((w, i)).or_insert_with(|| rec.clone());
+            }
+        }
+        out.into_values().collect()
+    }
+}

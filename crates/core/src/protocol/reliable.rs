@@ -19,6 +19,14 @@
 //! Acks are not themselves sequenced or retransmitted — a lost ack is
 //! recovered by the sender's retransmission, which the receiver answers
 //! with a fresh cumulative ack.
+//!
+//! Two crash-recovery hooks live here as well. [`Wire::Heartbeat`] is the
+//! failure detector's probe: unsequenced and unacknowledged like an ack,
+//! its only job is to refresh the receiver's last-heard clock for the
+//! sender. And retransmission is no longer unconditionally infinite: with
+//! [`FaultProfile::max_retries`] set, a channel that times out that many
+//! times without ack progress stops retransmitting and surfaces a
+//! structured peer-down signal instead of spinning forever at a dead peer.
 
 use std::collections::BTreeMap;
 
@@ -27,7 +35,7 @@ use svm_sim::{EventId, SimDuration};
 
 use crate::config::FaultProfile;
 use crate::msg::SvmMsg;
-use crate::protocol::{MCtx, SvmAgent};
+use crate::protocol::{MCtx, ProtocolError, SvmAgent};
 
 /// The on-wire envelope around protocol messages.
 #[derive(Clone, Debug)]
@@ -47,6 +55,10 @@ pub enum Wire {
         /// Highest in-order sequence delivered.
         cum: u32,
     },
+    /// Failure-detector probe: refreshes the receiver's last-heard clock
+    /// for the sender. Unsequenced and unacknowledged, like an ack — a
+    /// lost heartbeat is recovered by the next period's heartbeat.
+    Heartbeat,
 }
 
 impl Message for Wire {
@@ -56,13 +68,14 @@ impl Message for Wire {
             // Sequence number + envelope framing.
             Wire::Data { msg, .. } => msg.wire_bytes() + 8,
             Wire::Ack { .. } => 12,
+            Wire::Heartbeat => 12,
         }
     }
 
     fn class(&self) -> TrafficClass {
         match self {
             Wire::Plain(m) | Wire::Data { msg: m, .. } => m.class(),
-            Wire::Ack { .. } => TrafficClass::Protocol,
+            Wire::Ack { .. } | Wire::Heartbeat => TrafficClass::Protocol,
         }
     }
 }
@@ -82,14 +95,17 @@ pub struct RetransmitEvent {
     pub attempt: u32,
 }
 
-struct SendChannel {
-    to: ProcAddr,
+pub(crate) struct SendChannel {
+    pub(crate) to: ProcAddr,
     next_seq: u32,
-    unacked: BTreeMap<u32, SvmMsg>,
+    pub(crate) unacked: BTreeMap<u32, SvmMsg>,
     /// The armed retransmit timer, if any: its scheduler event (for
     /// cancellation) and its token in [`TimerTokens`].
-    armed: Option<(EventId, u64)>,
+    pub(crate) armed: Option<(EventId, u64)>,
     backoff: u32,
+    /// Retransmit timeouts fired since the last ack progress; compared
+    /// against [`ReliableNet::max_retries`].
+    attempts: u32,
 }
 
 /// Live retransmit-timer tokens, allocated from one 64-bit counter.
@@ -102,7 +118,7 @@ struct SendChannel {
 /// it is in `live`, so staleness is structural: a cancelled or superseded
 /// timer's token simply no longer resolves (see the wrap regression test).
 #[derive(Default)]
-struct TimerTokens {
+pub(crate) struct TimerTokens {
     next: u64,
     live: BTreeMap<u64, usize>,
 }
@@ -121,7 +137,7 @@ impl TimerTokens {
     }
 
     /// Kill a token; returns whether it was live.
-    fn disarm(&mut self, token: u64) -> bool {
+    pub(crate) fn disarm(&mut self, token: u64) -> bool {
         self.live.remove(&token).is_some()
     }
 
@@ -147,28 +163,35 @@ impl Default for RecvChannel {
 
 /// Reliable-delivery state for one run.
 pub struct ReliableNet {
-    /// Whether the layer is on (any fault source configured).
+    /// Whether the layer is on (any fault source configured, or crash
+    /// recovery enabled — recovery's in-flight harvest needs the sequenced
+    /// envelopes and unacked buffers).
     pub enabled: bool,
     rto: SimDuration,
     backoff_cap: u32,
+    /// Timeouts-without-progress per channel before the peer is declared
+    /// unreachable; `None` retransmits forever.
+    max_retries: Option<u32>,
     /// One-shot deterministic drop of the first message of a given kind.
     drop_first: Option<&'static str>,
     /// Send channels, indexed densely so timer tokens can address them.
-    chans: Vec<SendChannel>,
-    index: BTreeMap<(ProcAddr, ProcAddr), usize>,
+    pub(crate) chans: Vec<SendChannel>,
+    pub(crate) index: BTreeMap<(ProcAddr, ProcAddr), usize>,
     recv: BTreeMap<(ProcAddr, ProcAddr), RecvChannel>,
-    tokens: TimerTokens,
+    pub(crate) tokens: TimerTokens,
     /// Every retransmission, in event order.
     pub trace: Vec<RetransmitEvent>,
 }
 
 impl ReliableNet {
-    /// Build from the run's fault profile.
-    pub fn new(profile: &FaultProfile) -> Self {
+    /// Build from the run's fault profile. `force_enabled` turns the layer
+    /// on even without fault sources (crash recovery requires it).
+    pub fn new(profile: &FaultProfile, force_enabled: bool) -> Self {
         ReliableNet {
-            enabled: profile.is_active(),
+            enabled: profile.is_active() || force_enabled,
             rto: SimDuration::from_micros(profile.rto_us),
             backoff_cap: profile.backoff_cap,
+            max_retries: profile.max_retries,
             drop_first: profile.drop_first_kind,
             chans: Vec::new(),
             index: BTreeMap::new(),
@@ -186,6 +209,7 @@ impl ReliableNet {
                 unacked: BTreeMap::new(),
                 armed: None,
                 backoff: 0,
+                attempts: 0,
             });
             self.chans.len() - 1
         })
@@ -200,6 +224,21 @@ impl SvmAgent {
     /// Send a protocol message to a remote processor through the reliable
     /// layer (or as a bare [`Wire::Plain`] when the layer is off).
     pub fn net_send(&mut self, ctx: &mut MCtx<'_>, to: ProcAddr, msg: SvmMsg) {
+        if !self.recovery.alive[to.node.index()] {
+            // A protocol dependency on a declared-dead node that recovery
+            // did not re-route (e.g. a homeless fetch needing the dead
+            // writer's stored diffs): structured halt, never a black hole.
+            self.recovery.stats.fenced_sends += 1;
+            let node = ctx.here().node;
+            self.protocol_error(
+                ctx,
+                ProtocolError::PeerUnreachable {
+                    node,
+                    peer: to.node,
+                },
+            );
+            return;
+        }
         if !self.net.enabled {
             ctx.send(to, Wire::Plain(msg));
             return;
@@ -244,7 +283,21 @@ impl SvmAgent {
     /// sequenced data through duplicate suppression + in-order release, and
     /// consume acks.
     pub fn on_wire(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, from: ProcAddr, wire: Wire) {
+        // Crash-recovery fence + freshness: anything from a declared-dead
+        // sender is dropped (its state was already repaired around it; late
+        // arrivals must not resurrect it), and anything from a live remote
+        // peer refreshes the failure detector's last-heard clock.
+        if from.node != at.node {
+            if !self.recovery.alive[from.node.index()] {
+                self.recovery.stats.fenced_messages += 1;
+                return;
+            }
+            if self.recovery_active() {
+                self.recovery.last_heard[at.node.index()][from.node.index()] = ctx.now();
+            }
+        }
         match wire {
+            Wire::Heartbeat => {} // freshness recorded above; no payload
             Wire::Plain(msg) => self.dispatch(ctx, at, from, msg),
             Wire::Data { seq, msg } => {
                 let node = at.node;
@@ -277,6 +330,7 @@ impl SvmAgent {
                 let progress = ch.unacked.len() < before;
                 if progress {
                     ch.backoff = 0;
+                    ch.attempts = 0;
                 }
                 let empty = ch.unacked.is_empty();
                 if empty || progress {
@@ -309,6 +363,18 @@ impl SvmAgent {
         let node = at.node;
         let overhead = ctx.cost().handler_overhead;
         let to = self.net.chans[idx].to;
+        // Retry exhaustion: `max_retries` timeouts without ack progress and
+        // the peer is treated as unreachable. The unacked buffer is left in
+        // place — it is exactly the in-flight state the recovery harvest
+        // reads — and the channel stays disarmed.
+        if let Some(max) = self.net.max_retries {
+            if self.net.chans[idx].attempts >= max {
+                self.counters[node.index()].retry_exhaustions += 1;
+                self.peer_down(ctx, at, to.node);
+                return;
+            }
+        }
+        self.net.chans[idx].attempts += 1;
         let attempt = self.net.chans[idx].backoff + 1;
         self.counters[node.index()].retransmit_timeouts += 1;
         // Take the unacked map out for the send loop instead of cloning it
@@ -425,7 +491,7 @@ mod tests {
             backoff_cap: 3,
             ..FaultProfile::default()
         };
-        let net = ReliableNet::new(&profile);
+        let net = ReliableNet::new(&profile, false);
         assert_eq!(net.timeout(0), SimDuration::from_micros(1_000));
         assert_eq!(net.timeout(1), SimDuration::from_micros(2_000));
         assert_eq!(net.timeout(3), SimDuration::from_micros(8_000));

@@ -22,8 +22,21 @@ use super::state::{LockManagerState, TokenState};
 use super::{MCtx, SvmAgent};
 
 impl SvmAgent {
-    fn manager_of(&self, l: LockId) -> NodeId {
-        NodeId((l.0 as usize % self.cfg.nodes) as u16)
+    /// The lock's manager: `lock % P`, skipping dead nodes upward (with
+    /// wraparound) once recovery has declared any. Identical to the plain
+    /// modulus while everyone is alive.
+    pub(crate) fn manager_of(&self, l: LockId) -> NodeId {
+        let base = l.0 as usize % self.cfg.nodes;
+        if self.recovery.alive[base] {
+            return NodeId(base as u16);
+        }
+        for off in 1..self.cfg.nodes {
+            let p = (base + off) % self.cfg.nodes;
+            if self.recovery.alive[p] {
+                return NodeId(p as u16);
+            }
+        }
+        NodeId(base as u16) // unreachable: the run halts before all nodes die
     }
 
     /// Application `LOCK` request.
@@ -258,8 +271,19 @@ impl SvmAgent {
         self.send_or_local(ctx, ProcAddr::cpu(mgr), msg);
     }
 
-    fn barrier_manager(&self) -> NodeId {
-        NodeId(0)
+    /// The barrier manager seat: the first surviving node (node 0 until it
+    /// dies; the barrier state is modeled as replicated to the adopting
+    /// manager).
+    pub(crate) fn barrier_manager(&self) -> NodeId {
+        let seat = self.recovery.alive.iter().position(|&a| a).unwrap_or(0);
+        NodeId(seat as u16)
+    }
+
+    /// Whether every *live* node has arrived at the gathering barrier. A
+    /// dead node's pre-crash arrival stays counted (its notices were
+    /// already archived); its absence no longer holds the barrier.
+    pub(crate) fn barrier_ready(&self) -> bool {
+        (0..self.cfg.nodes).all(|i| !self.recovery.alive[i] || self.barrier.arrived[i].is_some())
     }
 
     /// Manager service of a barrier arrival.
@@ -285,6 +309,7 @@ impl SvmAgent {
             let key = (rec.writer.0, rec.interval);
             if !self.barrier.archive.contains_key(&key) {
                 self.counters[mgr].mem.notices(rec.bytes() as i64);
+                self.barrier.archive_bytes[mgr] += rec.bytes() as i64;
                 self.barrier.archive.insert(key, rec.clone());
             }
         }
@@ -297,15 +322,14 @@ impl SvmAgent {
         if self.homeless() && proto_mem > self.cfg.gc_threshold_bytes {
             self.barrier.gc_wanted = true;
         }
-        if self.barrier.count == self.cfg.nodes {
+        if self.barrier_ready() {
             self.release_barrier(ctx, b);
         }
     }
 
-    /// All nodes arrived: merge, plan GC, and send departures.
-    fn release_barrier(&mut self, ctx: &mut MCtx<'_>, b: BarrierId) {
+    /// All live nodes arrived: merge, plan GC, and send departures.
+    pub(crate) fn release_barrier(&mut self, ctx: &mut MCtx<'_>, b: BarrierId) {
         let nodes = self.cfg.nodes;
-        let mgr = self.barrier_manager();
         let mut merged = VectorTime::zero(nodes);
         for vt in self.barrier.arrived.iter().flatten() {
             merged.merge(vt);
@@ -326,9 +350,14 @@ impl SvmAgent {
         let releases: Vec<(NodeId, SvmMsg)> = arrived
             .into_iter()
             .enumerate()
-            .map(|(i, vt)| {
-                // INVARIANT: the barrier releases only after every arrival slot filled.
-                let node_vt = vt.expect("all nodes arrived");
+            .filter_map(|(i, vt)| {
+                // An empty slot is a node that died before arriving; a dead
+                // node's filled slot contributed its vector time above but
+                // gets no departure.
+                let node_vt = vt?;
+                if !self.recovery.alive[i] {
+                    return None;
+                }
                 let r = NodeId(i as u16);
                 let records: Vec<_> = self
                     .barrier
@@ -337,7 +366,7 @@ impl SvmAgent {
                     .filter(|rec| rec.writer != r && rec.interval > node_vt.get(rec.writer))
                     .cloned()
                     .collect();
-                (
+                Some((
                     r,
                     SvmMsg::BarrierRelease {
                         barrier: b,
@@ -345,17 +374,16 @@ impl SvmAgent {
                         records,
                         gc,
                     },
-                )
+                ))
             })
             .collect();
-        let archived: i64 = self
-            .barrier
-            .archive
-            .values()
-            .map(|r| r.bytes() as i64)
-            .sum();
         self.barrier.archive.clear();
-        self.counters[mgr.index()].mem.notices(-archived);
+        // Refund each node exactly what arrivals charged it: the seat may
+        // have failed over mid-round, splitting the charges across nodes.
+        for i in 0..nodes {
+            let charged = std::mem::take(&mut self.barrier.archive_bytes[i]);
+            self.counters[i].mem.notices(-charged);
+        }
         for (r, msg) in releases {
             ctx.work(per_send, Category::Protocol);
             self.send_or_local(ctx, ProcAddr::cpu(r), msg);

@@ -10,6 +10,7 @@ use svm_sim::HandoffCell;
 use crate::api::{AppPort, NodeCache, Scalar, SharedArr, SvmCtx};
 use crate::config::{ProtocolName, SvmConfig};
 use crate::metrics::ProtocolReport;
+use crate::protocol::recovery::RecoveryStats;
 use crate::protocol::reliable::RetransmitEvent;
 use crate::protocol::{ProtocolError, SvmAgent};
 use crate::trace::AccessTrace;
@@ -149,6 +150,12 @@ pub struct RunReport {
     /// `None`; checker self-tests assert it is nonzero so a mutation that
     /// never triggers cannot pass vacuously).
     pub mutation_hits: u32,
+    /// What crash recovery did (all-zero when no node was declared dead).
+    pub recovery: RecoveryStats,
+    /// Nodes declared dead by the failure detector, in detection order
+    /// (with the virtual time of each declaration). Non-empty marks a
+    /// degraded run: the workload completed on the survivors.
+    pub deaths: Vec<(NodeId, svm_sim::SimTime)>,
 }
 
 impl RunReport {
@@ -249,15 +256,21 @@ where
         max_stall: svm_sim::SimDuration::from_micros(config.fault.max_stall_us),
         only_link: None,
     });
+    world.machine.set_node_faults(config.node_fault.clone());
     let (outcome, mut agent) = world.run();
 
     // Sanity: the protocols must leave no dangling fault state. (Open
     // intervals at exit are fine: nothing synchronizes after the end.) A
-    // halted run is exempt — it stopped mid-flight by design.
+    // halted run is exempt — it stopped mid-flight by design — and so is a
+    // node that died mid-fault, declared or not (a victim crashing after
+    // its last barrier can miss detection before the survivors finish):
+    // its page fetch legitimately never resolves.
     if outcome.is_clean() {
         for (i, n) in agent.nodes_st.iter().enumerate() {
+            let crashable =
+                !agent.recovery.alive[i] || config.node_fault.crashes.iter().any(|c| c.node == i);
             assert!(
-                n.fault.is_none(),
+                n.fault.is_none() || crashable,
                 "node {i} finished with an outstanding fault"
             );
         }
@@ -293,6 +306,8 @@ where
         retransmit_trace: std::mem::take(&mut agent.net.trace),
         trace,
         mutation_hits: agent.mutation.hits,
+        recovery: agent.recovery.stats.clone(),
+        deaths: std::mem::take(&mut agent.recovery.deaths),
     }
 }
 

@@ -178,6 +178,14 @@ pub enum TraceEvent {
         /// Pages dirtied in the closed interval.
         pages: Vec<u32>,
     },
+    /// The node was declared dead by the failure detector: nothing follows
+    /// in its stream except recovery-synthesized events (a lock release for
+    /// a critical section it died inside), and the checker excuses it from
+    /// every barrier round it had not yet entered.
+    Crash {
+        /// Virtual time of the declaration.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -195,7 +203,7 @@ impl TraceEvent {
             | TraceEvent::BarrierEnter { vt, .. }
             | TraceEvent::BarrierLeave { vt, .. } => vt.bytes(),
             TraceEvent::IntervalEnd { vt, pages, .. } => vt.bytes() + 4 * pages.len(),
-            TraceEvent::Read { .. } => 0,
+            TraceEvent::Read { .. } | TraceEvent::Crash { .. } => 0,
         };
         std::mem::size_of::<TraceEvent>() + payload
     }
@@ -391,6 +399,12 @@ impl NodeRecorder {
             at,
             pages,
         });
+    }
+
+    /// Record the node's death (declared by the failure detector).
+    pub fn crash(&mut self, at: SimTime) {
+        self.flush_all();
+        self.events.push(TraceEvent::Crash { at });
     }
 
     /// Finish recording: flush pending writes and surrender the stream.

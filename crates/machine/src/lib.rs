@@ -34,6 +34,7 @@ pub mod accounting;
 pub mod cost;
 pub mod machine;
 pub mod netfault;
+pub mod nodefault;
 pub mod traffic;
 pub mod types;
 
@@ -41,5 +42,6 @@ pub use accounting::{Breakdown, Category};
 pub use cost::CostModel;
 pub use machine::{Agent, AppRequest, AppResponse, Ctx, Machine, RunError, RunOutcome, World};
 pub use netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
+pub use nodefault::{CrashSpec, NodeFaultConfig, NodeFaultPlan, NodeFaultStats};
 pub use traffic::{Message, TrafficClass, TrafficStats};
 pub use types::{NodeId, ProcAddr, ProcKind};

@@ -16,6 +16,7 @@ use svm_sim::{EventId, Scheduler, SimDuration, SimTime};
 use crate::accounting::{Breakdown, Category, NodeClock};
 use crate::cost::CostModel;
 use crate::netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
+use crate::nodefault::{NodeFaultConfig, NodeFaultPlan, NodeFaultStats};
 use crate::traffic::{Message, TrafficStats};
 use crate::types::{NodeId, ProcAddr, ProcKind};
 
@@ -66,6 +67,16 @@ pub trait Agent: Sized + 'static {
     /// the current work cursor, or from a later message handler) and may
     /// re-tag the wait via [`Ctx::block_app`].
     fn on_request(&mut self, ctx: &mut Ctx<'_, Self>, node: NodeId, req: Self::Req);
+
+    /// Called once per node at t = 0, before the applications start. Agents
+    /// that need standing machinery (e.g. failure-detector heartbeats) arm
+    /// it here; the default does nothing, which keeps agent-less runs
+    /// bit-identical.
+    fn on_init(&mut self, _ctx: &mut Ctx<'_, Self>, _node: NodeId) {}
+
+    /// Called when a crashed node restarts (its transport is live again; the
+    /// application is not resurrected). Default: nothing.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self>, _node: NodeId) {}
 }
 
 /// The world a scheduler drives: machine state plus the protocol agent.
@@ -98,6 +109,8 @@ enum AppState<R> {
     /// A custom request waiting for the compute processor to free up.
     PendingRequest(R),
     Finished,
+    /// The node crash-stopped; the application process is gone.
+    Crashed,
 }
 
 struct Service {
@@ -134,6 +147,12 @@ struct NodeState<A: Agent> {
     coproc: ProcUnit<A::Msg>,
     app: AppState<A::Req>,
     process: Option<AppProcess<A>>,
+    /// Liveness epoch: bumped on crash and on restart. Node-local events
+    /// capture the epoch when scheduled and are void if it moved on, which
+    /// is how a crash discards pending timers, service completions, and
+    /// app resumptions without hunting down their event ids.
+    epoch: u64,
+    crashed: bool,
 }
 
 /// The simulated multicomputer.
@@ -146,6 +165,18 @@ pub struct Machine<A: Agent> {
     finish: Vec<Option<SimTime>>,
     coproc_busy: Vec<SimDuration>,
     fault: Option<FaultPlan>,
+    node_fault: Option<NodeFaultPlan>,
+    /// Virtual time of the last application-level progress (yield handled);
+    /// the node-fault watchdog reads it.
+    last_progress: SimTime,
+    /// Virtual time of the last *meaningful* event: deliveries, timers,
+    /// compute/service completions, app resumes, and fault events that hit
+    /// a live run. Crash-plan bookkeeping that fires after every
+    /// application has ended (a dangling crash instant, the watchdog's
+    /// standing check) advances the scheduler clock but not this — the
+    /// run's reported end, so an unfired tail of the schedule cannot
+    /// stretch `total_time`.
+    effective_end: SimTime,
     errors: Vec<RunError>,
     halted: bool,
 }
@@ -192,6 +223,8 @@ pub struct RunOutcome {
     pub events_executed: u64,
     /// What the fault-injection layer did (all-zero when no plan was set).
     pub net_faults: NetFaultStats,
+    /// What the node crash layer did (all-zero when no plan was set).
+    pub node_faults: NodeFaultStats,
     /// Structured protocol failures; empty on a clean run. When nonempty,
     /// the timing fields describe the truncated run up to the halt.
     pub errors: Vec<RunError>,
@@ -217,6 +250,8 @@ impl<A: Agent> Machine<A> {
                 coproc: ProcUnit::new(),
                 app: AppState::Ready,
                 process: Some(spawn_process(&format!("app-n{i}"), move |port| body(port))),
+                epoch: 0,
+                crashed: false,
             })
             .collect();
         Machine {
@@ -227,6 +262,9 @@ impl<A: Agent> Machine<A> {
             finish: vec![None; n],
             coproc_busy: vec![SimDuration::ZERO; n],
             fault: None,
+            node_fault: None,
+            last_progress: SimTime::ZERO,
+            effective_end: SimTime::ZERO,
             errors: Vec::new(),
             halted: false,
         }
@@ -241,6 +279,47 @@ impl<A: Agent> Machine<A> {
             let nodes = self.nodes.len();
             self.fault = Some(FaultPlan::new(cfg, nodes));
         }
+    }
+
+    /// Install a node crash schedule for this run. As with [`set_faults`],
+    /// an inactive configuration installs nothing: no crash or watchdog
+    /// events are ever scheduled, so a disabled plan is bit-identical to a
+    /// machine that never heard of node faults.
+    ///
+    /// [`set_faults`]: Machine::set_faults
+    pub fn set_node_faults(&mut self, cfg: NodeFaultConfig) {
+        if cfg.is_active() {
+            let nodes = self.nodes.len();
+            self.node_fault = Some(NodeFaultPlan::new(cfg, nodes));
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn node_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+
+    /// Record a meaningful event at `now` (see [`Machine::effective_end`]).
+    fn note_activity(&mut self, now: SimTime) {
+        self.effective_end = now;
+    }
+
+    /// Whether every application has ended (finished or crashed).
+    fn all_apps_ended(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| matches!(n.app, AppState::Finished | AppState::Crashed))
+    }
+
+    /// Tally and report a stale node-local event (epoch moved on).
+    fn stale(&mut self, node: NodeId, epoch: u64) -> bool {
+        if self.nodes[node.index()].epoch == epoch {
+            return false;
+        }
+        if let Some(p) = &mut self.node_fault {
+            p.stats_mut().discarded_events += 1;
+        }
+        true
     }
 
     /// Number of nodes.
@@ -268,7 +347,7 @@ impl<A: Agent> Machine<A> {
             AppState::Computing { .. } | AppState::ComputePaused { .. } => Category::Compute,
             AppState::Blocked(c) => *c,
             AppState::PendingRequest(_) => Category::Protocol,
-            AppState::Ready | AppState::Finished => Category::Idle,
+            AppState::Ready | AppState::Finished | AppState::Crashed => Category::Idle,
         }
     }
 
@@ -298,7 +377,33 @@ impl<A: Agent> World<A> {
     /// diagnostics.
     pub fn run(mut self) -> (RunOutcome, A) {
         let mut sched: Scheduler<World<A>> = Scheduler::new();
-        // Kick every node: obtain and handle its first yield at t = 0.
+        // Schedule the crash plan (and its watchdog) before anything else so
+        // a crash at time t outruns same-instant deliveries. With no plan
+        // this block schedules nothing and consumes no sequence numbers.
+        if let Some(plan) = &self.machine.node_fault {
+            let cfg = plan.config().clone();
+            for c in &cfg.crashes {
+                let node = NodeId(c.node as u16);
+                sched.at(c.at, move |s, w: &mut World<A>| w.crash_node(s, node));
+                if let Some(window) = c.restart_after {
+                    sched.at(c.at + window, move |s, w: &mut World<A>| {
+                        w.restart_node(s, node)
+                    });
+                }
+            }
+            let limit = cfg.effective_stall_limit();
+            sched.after(limit, move |s, w: &mut World<A>| w.watchdog_tick(s, limit));
+        }
+        // Let the agent arm standing machinery (heartbeats), then kick every
+        // node: obtain and handle its first yield at t = 0.
+        for i in 0..self.machine.nodes.len() {
+            let node = NodeId(i as u16);
+            let World { machine, agent } = &mut self;
+            let mut ctx = Ctx::new(&mut sched, machine, ProcAddr::cpu(node));
+            agent.on_init(&mut ctx, node);
+            let segments = ctx.take_segments();
+            self.begin_service(&mut sched, ProcAddr::cpu(node), segments);
+        }
         for i in 0..self.machine.nodes.len() {
             let y = self.machine.nodes[i]
                 .process
@@ -313,31 +418,48 @@ impl<A: Agent> World<A> {
 
         if self.machine.errors.is_empty() {
             let mut stuck = Vec::new();
+            let mut first: Option<usize> = None;
             for (i, n) in self.machine.nodes.iter().enumerate() {
-                if !matches!(n.app, AppState::Finished) {
+                if !matches!(n.app, AppState::Finished | AppState::Crashed) {
                     let state = match &n.app {
                         AppState::Blocked(c) => format!("blocked on {c}"),
                         AppState::Computing { .. } => "computing".into(),
                         AppState::ComputePaused { .. } => "compute-paused".into(),
                         AppState::PendingRequest(_) => "request pending".into(),
                         AppState::Ready => "ready".into(),
-                        AppState::Finished => unreachable!(),
+                        AppState::Finished | AppState::Crashed => unreachable!(),
                     };
+                    first.get_or_insert(i);
                     stuck.push(format!("node {i}: {state}"));
                 }
             }
-            assert!(
-                stuck.is_empty(),
-                "simulation deadlock: event queue empty with live applications:\n  {}",
-                stuck.join("\n  ")
-            );
+            if let (Some(first), Some(_)) = (first, self.machine.node_fault.as_ref()) {
+                // Under a crash plan a post-crash deadlock is an expected
+                // failure mode (e.g. recovery disabled): report it as a
+                // structured error, never a panic.
+                self.machine.errors.push(RunError {
+                    node: NodeId(first as u16),
+                    at: self.machine.effective_end,
+                    what: format!(
+                        "deadlock after node crash: event queue empty with live applications ({})",
+                        stuck.join("; ")
+                    ),
+                });
+            } else {
+                assert!(
+                    stuck.is_empty(),
+                    "simulation deadlock: event queue empty with live applications:\n  {}",
+                    stuck.join("\n  ")
+                );
+            }
         }
 
         // Trailing protocol service (e.g., a node serving a fetch after its
         // own program ended) can outlast the last application finish; the
-        // run ends when the event queue drains. On a halted run, nodes that
-        // never finished are pinned at the halt time.
-        let now = sched.now();
+        // run ends at the last meaningful event — which, without a crash
+        // plan, is exactly when the event queue drains. On a halted run,
+        // nodes that never finished are pinned at the halt time.
+        let now = self.machine.effective_end;
         let total_time = self
             .machine
             .finish
@@ -367,9 +489,132 @@ impl<A: Agent> World<A> {
                 .as_ref()
                 .map(|p| p.stats().clone())
                 .unwrap_or_default(),
+            node_faults: self
+                .machine
+                .node_fault
+                .as_ref()
+                .map(|p| p.stats().clone())
+                .unwrap_or_default(),
             errors: std::mem::take(&mut self.machine.errors),
         };
         (outcome, self.agent)
+    }
+
+    /// Execute a scheduled crash-stop of `node`: tear down the application
+    /// process, void pending node-local events via an epoch bump, and
+    /// discard queued processor work. Deliveries already in flight toward
+    /// the node are dropped at its doorstep (see [`World::deliver`]).
+    fn crash_node(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        let i = node.index();
+        let now = sched.now();
+        if self.machine.nodes[i].crashed {
+            return;
+        }
+        // A crash while some application still runs is an observable event;
+        // one that fires after everything ended is schedule bookkeeping and
+        // must not stretch the run (see `Machine::effective_end`) — nor
+        // touch the clocks, which are snapshotted at the effective end.
+        let live_run = !self.machine.all_apps_ended();
+        if live_run {
+            self.machine.note_activity(now);
+        }
+        let n = &mut self.machine.nodes[i];
+        n.crashed = true;
+        n.epoch += 1;
+        let discarded = n.cpu.queue.len()
+            + n.coproc.queue.len()
+            + usize::from(n.cpu.service.is_some())
+            + usize::from(n.coproc.service.is_some());
+        n.cpu.queue.clear();
+        n.cpu.service = None;
+        n.coproc.queue.clear();
+        n.coproc.service = None;
+        // Dropping the SimProcess closes the resume channel; a parked app
+        // thread unwinds cleanly and is joined (see svm-sim::process).
+        n.process = None;
+        if !matches!(n.app, AppState::Finished) {
+            n.app = AppState::Crashed;
+        }
+        if self.machine.finish[i].is_none() {
+            self.machine.finish[i] = Some(now);
+        }
+        if live_run {
+            self.machine.refresh(i, now);
+        }
+        // INVARIANT: crash events are only scheduled when a plan is installed.
+        let stats = self
+            .machine
+            .node_fault
+            .as_mut()
+            .expect("crash without a plan")
+            .stats_mut();
+        stats.crashes += 1;
+        stats.discarded_work += discarded as u64;
+    }
+
+    /// Restart a crashed node as a warm standby: transport and protocol
+    /// handlers come back (a fresh epoch), the application does not.
+    fn restart_node(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        let i = node.index();
+        if !self.machine.nodes[i].crashed || self.machine.halted {
+            return;
+        }
+        if !self.machine.all_apps_ended() {
+            self.machine.note_activity(sched.now());
+        }
+        self.machine.nodes[i].crashed = false;
+        self.machine.nodes[i].epoch += 1;
+        self.machine
+            .node_fault
+            .as_mut()
+            // INVARIANT: restart events are only scheduled when a plan is installed.
+            .expect("restart without a plan")
+            .stats_mut()
+            .restarts += 1;
+        let World { machine, agent } = self;
+        let mut ctx = Ctx::new(sched, machine, ProcAddr::cpu(node));
+        agent.on_restart(&mut ctx, node);
+        let segments = ctx.take_segments();
+        self.begin_service(sched, ProcAddr::cpu(node), segments);
+    }
+
+    /// Periodic liveness check under a crash plan: if no application has
+    /// made progress for a full window while some still wait, halt with a
+    /// structured error — the "never a hang" guarantee.
+    fn watchdog_tick(&mut self, sched: &mut Scheduler<World<A>>, limit: SimDuration) {
+        if self.machine.halted {
+            return;
+        }
+        let waiting: Vec<usize> = self
+            .machine
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !matches!(n.app, AppState::Finished | AppState::Crashed))
+            .map(|(i, _)| i)
+            .collect();
+        if waiting.is_empty() {
+            return; // all done: stop rearming so the queue can drain
+        }
+        if sched.now().since(self.machine.last_progress) >= limit {
+            self.machine.note_activity(sched.now());
+            self.machine.errors.push(RunError {
+                node: NodeId(waiting[0] as u16),
+                at: sched.now(),
+                what: format!(
+                    "progress watchdog: no application progress for {} us (waiting: {})",
+                    limit.as_nanos() / 1_000,
+                    waiting
+                        .iter()
+                        .map(|i| format!("node {i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+            self.machine.halted = true;
+            return;
+        }
+        sched.after(limit, move |s, w: &mut World<A>| w.watchdog_tick(s, limit));
     }
 
     /// Resume a blocked application with `resp` and handle its next yield.
@@ -379,6 +624,7 @@ impl<A: Agent> World<A> {
         node: NodeId,
         resp: AppResponse<A::Resp>,
     ) {
+        self.machine.note_activity(sched.now());
         let i = node.index();
         debug_assert!(
             matches!(self.machine.nodes[i].app, AppState::Blocked(_)),
@@ -401,6 +647,7 @@ impl<A: Agent> World<A> {
     ) {
         let i = node.index();
         let now = sched.now();
+        self.machine.last_progress = now;
         match y {
             Yielded::Finished(Ok(())) => {
                 self.machine.nodes[i].app = AppState::Finished;
@@ -432,7 +679,13 @@ impl<A: Agent> World<A> {
     fn start_compute(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId, d: SimDuration) {
         let i = node.index();
         let now = sched.now();
-        let done_ev = sched.after(d, move |s, w: &mut World<A>| w.compute_done(s, node));
+        let epoch = self.machine.nodes[i].epoch;
+        let done_ev = sched.after(d, move |s, w: &mut World<A>| {
+            if w.machine.stale(node, epoch) {
+                return;
+            }
+            w.compute_done(s, node)
+        });
         self.machine.nodes[i].app = AppState::Computing {
             remaining: d,
             since: now,
@@ -442,6 +695,7 @@ impl<A: Agent> World<A> {
     }
 
     fn compute_done(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        self.machine.note_activity(sched.now());
         let i = node.index();
         debug_assert!(matches!(
             self.machine.nodes[i].app,
@@ -477,7 +731,14 @@ impl<A: Agent> World<A> {
         from: ProcAddr,
         msg: A::Msg,
     ) {
+        self.machine.note_activity(sched.now());
         let i = to.node.index();
+        if self.machine.nodes[i].crashed {
+            if let Some(p) = &mut self.machine.node_fault {
+                p.stats_mut().dropped_deliveries += 1;
+            }
+            return;
+        }
         let work = Work::Msg { from, msg };
         match to.kind {
             ProcKind::Cpu => self.machine.nodes[i].cpu.queue.push_back(work),
@@ -488,6 +749,7 @@ impl<A: Agent> World<A> {
 
     /// A timer armed via [`Ctx::set_timer`] expired; queue its service.
     fn timer_fired(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr, token: u64) {
+        self.machine.note_activity(sched.now());
         let i = at.node.index();
         let work = Work::Timer { token };
         match at.kind {
@@ -587,12 +849,19 @@ impl<A: Agent> World<A> {
         if at.kind == ProcKind::Cpu {
             self.machine.refresh(i, now);
         }
-        sched.after(d, move |s, w: &mut World<A>| w.segment_done(s, at));
+        let epoch = self.machine.nodes[i].epoch;
+        sched.after(d, move |s, w: &mut World<A>| {
+            if w.machine.stale(at.node, epoch) {
+                return;
+            }
+            w.segment_done(s, at)
+        });
     }
 
     fn segment_done(&mut self, sched: &mut Scheduler<World<A>>, at: ProcAddr) {
         let i = at.node.index();
         let now = sched.now();
+        self.machine.note_activity(now);
         let unit = match at.kind {
             ProcKind::Cpu => &mut self.machine.nodes[i].cpu,
             ProcKind::CoProc => &mut self.machine.nodes[i].coproc,
@@ -603,7 +872,13 @@ impl<A: Agent> World<A> {
             if at.kind == ProcKind::Cpu {
                 self.machine.refresh(i, now);
             }
-            sched.after(d, move |s, w: &mut World<A>| w.segment_done(s, at));
+            let epoch = self.machine.nodes[i].epoch;
+            sched.after(d, move |s, w: &mut World<A>| {
+                if w.machine.stale(at.node, epoch) {
+                    return;
+                }
+                w.segment_done(s, at)
+            });
             return;
         }
         unit.service = None;
@@ -745,7 +1020,11 @@ impl<'a, A: Agent> Ctx<'a, A> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> EventId {
         let at_addr = self.at;
         let when = self.now() + delay;
+        let epoch = self.machine.nodes[at_addr.node.index()].epoch;
         self.sched.at(when, move |s, w: &mut World<A>| {
+            if w.machine.stale(at_addr.node, epoch) {
+                return;
+            }
             w.timer_fired(s, at_addr, token)
         })
     }
@@ -762,6 +1041,21 @@ impl<'a, A: Agent> Ctx<'a, A> {
             .as_ref()
             .map(|p| p.stats().clone())
             .unwrap_or_default()
+    }
+
+    /// Whether `node`'s transport is currently up (not crash-stopped).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        !self.machine.nodes[node.index()].crashed
+    }
+
+    /// Whether every application has finished (or crashed). Standing timers
+    /// — heartbeats — stop rearming on this signal so the event queue can
+    /// drain.
+    pub fn apps_done(&self) -> bool {
+        self.machine
+            .nodes
+            .iter()
+            .all(|n| matches!(n.app, AppState::Finished | AppState::Crashed))
     }
 
     /// Report a structured protocol failure and halt the run. The machine
@@ -786,8 +1080,15 @@ impl<'a, A: Agent> Ctx<'a, A> {
         };
         assert_ne!(from.kind, to.kind, "posting to self");
         let at = self.now() + self.machine.cost.coproc_post;
-        self.sched
-            .at(at, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+        // Intra-node posts die with the node: a post from a pre-crash epoch
+        // must not surface after a restart.
+        let epoch = self.machine.nodes[from.node.index()].epoch;
+        self.sched.at(at, move |s, w: &mut World<A>| {
+            if w.machine.stale(to.node, epoch) {
+                return;
+            }
+            w.deliver(s, to, from, msg)
+        });
     }
 
     /// Complete the blocked application request on `node` with `resp`, at
@@ -804,8 +1105,21 @@ impl<'a, A: Agent> Ctx<'a, A> {
 
     fn complete_app_with(&mut self, node: NodeId, resp: AppResponse<A::Resp>) {
         let at = self.now();
-        self.sched
-            .at(at, move |s, w: &mut World<A>| w.resume_app(s, node, resp));
+        let epoch = self.machine.nodes[node.index()].epoch;
+        self.sched.at(at, move |s, w: &mut World<A>| {
+            if w.machine.stale(node, epoch) {
+                return;
+            }
+            if matches!(w.machine.nodes[node.index()].app, AppState::Crashed) {
+                // A live handler completed a request for an app that crashed
+                // in the same epoch window: nothing to resume.
+                if let Some(p) = &mut w.machine.node_fault {
+                    p.stats_mut().discarded_events += 1;
+                }
+                return;
+            }
+            w.resume_app(s, node, resp)
+        });
     }
 
     /// Re-tag why `node`'s application is blocked (for wait accounting).

@@ -5,8 +5,9 @@
 #
 # Usage: verify.sh [--fast]
 #   --fast skips the example/bench compiles and the chaos matrix, but
-#   always keeps the static analyzer and the consistency-check subset —
-#   the cheap gates that catch whole bug classes.
+#   always keeps the static analyzer, the crash-recovery smoke, and the
+#   consistency-check subset — the cheap gates that catch whole bug
+#   classes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,9 +45,12 @@ echo "== static analysis (svm-analyzer: determinism, unsafe-audit, panic-policy,
 cargo run --release -p svm-bench --bin analyze
 
 if [[ "$FAST" -eq 0 ]]; then
-  echo "== fault-injection smoke matrix (drop rates 0 / 0.1% / 1%)"
+  echo "== fault-injection smoke matrix (mixed 0 / 0.1% / 1% + dup/delay/stall-dominated)"
   cargo run --release -p svm-bench --bin chaos -- --scale 0.03 --nodes 4 --drop 0,0.001,0.01
 fi
+
+echo "== crash-recovery smoke matrix (seeded node crashes, graceful recovery)"
+cargo run --release -p svm-bench --bin crash -- --scale 0.03 --nodes 4 --seeds 1,2
 
 echo "== consistency check matrix (record -> svm-checker, fast subset)"
 cargo run --release -p svm-bench --bin check -- --fast
