@@ -372,3 +372,63 @@ fn findings_are_sorted_and_display_cleanly() {
     assert!(shown.contains("[determinism]"));
     assert!(shown.contains("HashSet"));
 }
+
+/// The serve additions ride on this rule too: `SvmReq::Clock` and
+/// `SvmReq::SleepUntil` are new variants of a *watched* enum, so a
+/// request dispatcher that predates the clock API (or hides it behind
+/// `_ =>`) must be flagged, and the explicit-arm handling `on_request`
+/// actually uses must come back clean.
+#[test]
+fn totality_covers_clock_and_sleep_variants() {
+    let def = SourceSpec {
+        path: "crates/core/src/msg.rs".into(),
+        src: "pub enum SvmReq {\n\
+              Lock(u32),\n\
+              Clock,\n\
+              SleepUntil { until: u64 },\n\
+              }\n"
+        .into(),
+    };
+    // A dispatcher written before the serve subsystem: Clock is hidden
+    // behind a catch-all and SleepUntil never appears in any arm.
+    let stale = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(r: &SvmReq) -> u64 {\n\
+              match r {\n\
+              SvmReq::Lock(l) => *l as u64,\n\
+              _ => 0,\n\
+              }\n\
+              }\n"
+        .into(),
+    };
+    let findings = analyze_files(&[def.clone(), stale], &cfg());
+    for missing in ["Clock", "SleepUntil"] {
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "message-totality" && f.message.contains(missing)),
+            "new variant {missing} unmatched but not flagged: {findings:#?}"
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "message-totality" && f.file.ends_with("foo.rs") && f.line == 4),
+        "catch-all hiding the clock requests not flagged: {findings:#?}"
+    );
+
+    // The serve-aware dispatcher names every variant: clean.
+    let current = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(r: &SvmReq) -> u64 {\n\
+              match r {\n\
+              SvmReq::Lock(l) => *l as u64,\n\
+              SvmReq::Clock => 1,\n\
+              SvmReq::SleepUntil { until } => *until,\n\
+              }\n\
+              }\n"
+        .into(),
+    };
+    let findings = analyze_files(&[def, current], &cfg());
+    assert!(findings.is_empty(), "{findings:#?}");
+}

@@ -137,6 +137,19 @@ fn check_file(path: &str) -> ! {
     };
     let problems = validate(&doc);
     if problems.is_empty() {
+        // Wall-clock numbers are only comparable on a matching machine:
+        // warn (but still pass) when the baseline was recorded with a
+        // different core count than this host has.
+        let here = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let recorded = doc.get("cores").and_then(Json::as_num).unwrap_or(0.0) as usize;
+        if recorded != here {
+            eprintln!(
+                "perf --check: WARNING: {path} was recorded on {recorded} cores, \
+                 this machine has {here}; wall-clock comparisons are not meaningful"
+            );
+        }
         println!("perf --check: {path} OK");
         std::process::exit(0);
     }

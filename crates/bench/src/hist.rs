@@ -1,0 +1,259 @@
+//! A fixed-bucket latency histogram for the serve matrix.
+//!
+//! HdrHistogram-style log-linear buckets: 16 sub-buckets per power of two,
+//! so relative error is bounded at ~6.25% across the full `u64` range with
+//! a fixed 976-slot table — no allocation per record, no dependence on the
+//! data, and therefore deterministic merges and quantiles. Percentile
+//! reads return the *upper edge* of the bucket (a conservative bound),
+//! clamped to the observed maximum so `p999` of a small sample never
+//! exceeds the real max.
+
+/// Sub-buckets per octave (power of two). 16 ⇒ ≤ 1/16 relative error.
+const SUB: usize = 16;
+/// Values below `SUB` get exact unit buckets.
+const EXACT: usize = SUB;
+/// Bucket count: exact region + 16 sub-buckets for each octave 4..=63.
+const BUCKETS: usize = EXACT + (64 - 4) * SUB;
+
+/// A deterministic fixed-bucket histogram over `u64` values (nanoseconds,
+/// in the serve matrix).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for `v`: exact below 16, else log-linear.
+fn index_of(v: u64) -> usize {
+    if v < EXACT as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros() as usize; // e >= 4
+    EXACT + (e - 4) * SUB + ((v >> (e - 4)) & (SUB as u64 - 1)) as usize
+}
+
+/// Inclusive upper edge of bucket `idx` (the value reported for
+/// quantiles landing in it).
+fn bucket_high(idx: usize) -> u64 {
+    if idx < EXACT {
+        return idx as u64;
+    }
+    let e = 4 + (idx - EXACT) / SUB;
+    let sub = ((idx - EXACT) % SUB) as u64;
+    // Bucket covers [base + sub*2^(e-4), base + (sub+1)*2^(e-4)).
+    (1u64 << e)
+        + (sub + 1)
+            .checked_shl((e - 4) as u32)
+            .unwrap_or(u64::MAX)
+            .saturating_sub(1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record a whole slice.
+    pub fn record_all(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `num/den` (e.g. `quantile(999, 1000)` =
+    /// p99.9): the upper edge of the bucket holding the ⌈count·q⌉-th
+    /// value, clamped to the observed max. Integer arithmetic only.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(num <= den && den > 0);
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * num).div_ceil(den).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(95, 100)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(999, 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(1, 16), 0);
+        assert_eq!(h.quantile(16, 16), 15);
+    }
+
+    #[test]
+    fn buckets_bound_relative_error() {
+        // Every representative value's bucket edge is within 1/16 above it.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let hi = bucket_high(index_of(v));
+            assert!(hi >= v, "{v}: edge {hi} below value");
+            assert!(
+                hi - v <= v / 16 + 1,
+                "{v}: edge {hi} overshoots by more than 1/16"
+            );
+            v = v.wrapping_mul(3) + 7;
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 40 {
+            let i = index_of(v);
+            assert!(i < BUCKETS);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            v = v * 2 + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1ms .. 1s in us-ish units
+        }
+        let p50 = h.p50();
+        let p99 = h.p99();
+        // Conservative (upper-edge) estimates: within one bucket (~6.25%).
+        assert!((500_000..=540_000).contains(&p50), "{p50}");
+        assert!((990_000..=1_060_000).contains(&p99), "{p99}");
+        assert_eq!(h.p999().min(h.max()), h.p999());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.p999());
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_bulk_record() {
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        let vs: Vec<u64> = (0..5000u64).map(|i| i * i % 777_777).collect();
+        for (i, &v) in vs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [1u64, 50, 95, 99, 100] {
+            assert_eq!(a.quantile(q, 100), all.quantile(q, 100));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! the *shapes* — who wins, by what factor, where crossovers fall — are
 //! the reproduction targets (EXPERIMENTS.md).
 
+pub mod hist;
 pub mod json;
 pub mod parallel;
 

@@ -19,9 +19,9 @@
 use svm_machine::{AppRequest, AppResponse};
 use svm_mem::{GAddr, Geometry};
 use svm_sim::process::ProcessPort;
-use svm_sim::{HandoffCell, SimDuration};
+use svm_sim::{HandoffCell, SimDuration, SimTime};
 
-use crate::msg::SvmReq;
+use crate::msg::{SvmReq, SvmResp};
 use crate::trace::NodeRecorder;
 
 /// A lock identifier. Locks are created implicitly on first use; their
@@ -68,7 +68,7 @@ impl NodeCache {
 }
 
 /// The port type applications communicate over.
-pub type AppPort = ProcessPort<AppRequest<SvmReq>, AppResponse<()>>;
+pub type AppPort = ProcessPort<AppRequest<SvmReq>, AppResponse<SvmResp>>;
 
 /// A node's view of the shared-memory system: the handle application code
 /// programs against.
@@ -137,7 +137,7 @@ impl<'a> SvmCtx<'a> {
         }
         match self.port.request(AppRequest::Compute(d)) {
             AppResponse::Done => {}
-            AppResponse::Custom(()) => unreachable!("compute answered with custom response"),
+            AppResponse::Custom(_) => unreachable!("compute answered with custom response"),
         }
     }
 
@@ -166,10 +166,44 @@ impl<'a> SvmCtx<'a> {
         self.request(SvmReq::Barrier(b));
     }
 
+    /// The current virtual time. Serviced immediately with zero modeled
+    /// cost: reading the clock never perturbs the protocol schedule, so
+    /// runs with and without timestamping are bit-identical in virtual
+    /// time. Request-driven workloads use it to timestamp operations.
+    pub fn now(&self) -> SimTime {
+        match self.port.request(AppRequest::Custom(SvmReq::Clock)) {
+            AppResponse::Custom(SvmResp::Time(t)) => t,
+            AppResponse::Done => unreachable!("clock request answered without a timestamp"),
+        }
+    }
+
+    /// Park this node's application until virtual time `until` (returns
+    /// immediately if the deadline already passed). The wait is accounted
+    /// as idle time; the node's protocol layer keeps serving remote
+    /// requests while the application sleeps.
+    pub fn sleep_until(&self, until: SimTime) {
+        self.request(SvmReq::SleepUntil { until });
+    }
+
+    /// Park this node's application for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        self.sleep_until(self.now() + d);
+    }
+
+    /// Park this node's application for `us` virtual microseconds.
+    pub fn sleep_us(&self, us: u64) {
+        self.sleep(SimDuration::from_micros(us));
+    }
+
     fn request(&self, req: SvmReq) {
         match self.port.request(AppRequest::Custom(req)) {
             AppResponse::Done => {}
-            AppResponse::Custom(()) => {}
+            AppResponse::Custom(SvmResp::Time(_)) => {
+                unreachable!("timestamp response to a non-clock request")
+            }
         }
     }
 

@@ -37,6 +37,7 @@ pub use config::{
     SvmConfig,
 };
 pub use metrics::{MemoryStats, NodeCounters, ProtocolReport};
+pub use msg::{SvmReq, SvmResp};
 pub use protocol::recovery::RecoveryStats;
 pub use protocol::reliable::{RetransmitEvent, Wire};
 pub use protocol::ProtocolError;

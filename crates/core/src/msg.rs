@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use svm_machine::{Message, NodeId, TrafficClass};
 use svm_mem::{Diff, PageNum};
+use svm_sim::SimTime;
 
 use crate::api::{BarrierId, LockId};
 use crate::vt::VectorTime;
@@ -64,6 +65,27 @@ pub enum SvmReq {
         /// The page that would not map.
         page: PageNum,
     },
+    /// Read the virtual clock. Completes immediately (zero modeled cost)
+    /// with [`SvmResp::Time`] — request-driven workloads (`svm-serve`)
+    /// timestamp their operations with it.
+    Clock,
+    /// Park the application until virtual time `until` (or complete
+    /// immediately if the deadline already passed). The wait is accounted
+    /// as idle time; open-loop load generators use it to pace seeded
+    /// arrival schedules in virtual time.
+    SleepUntil {
+        /// Absolute virtual-time deadline.
+        until: SimTime,
+    },
+}
+
+/// What the protocol answers an application request with, beyond the bare
+/// acknowledgment (`AppResponse::Done`) that faults and synchronization
+/// complete with.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SvmResp {
+    /// The virtual time at which a [`SvmReq::Clock`] request was serviced.
+    Time(SimTime),
 }
 
 /// Protocol messages. `Clone` so the reliable-delivery layer can keep

@@ -6,6 +6,7 @@
 //! Node-local shortcuts (manager == self, home == self…) dispatch inline
 //! instead of sending wire messages, matching the real implementations.
 
+pub mod clock;
 pub mod fault;
 pub mod gc;
 pub mod home;
@@ -645,7 +646,7 @@ impl SvmAgent {
 impl Agent for SvmAgent {
     type Msg = reliable::Wire;
     type Req = SvmReq;
-    type Resp = ();
+    type Resp = crate::msg::SvmResp;
 
     fn on_message(
         &mut self,
@@ -660,6 +661,8 @@ impl Agent for SvmAgent {
     fn on_timer(&mut self, ctx: &mut MCtx<'_>, at: ProcAddr, token: u64) {
         if token == recovery::HB_TOKEN {
             self.on_heartbeat_tick(ctx, at);
+        } else if clock::is_sleep_token(token) {
+            self.on_sleep_timer(ctx, token);
         } else {
             self.on_net_timer(ctx, at, token);
         }
@@ -688,6 +691,8 @@ impl Agent for SvmAgent {
             SvmReq::MapFailed { page } => {
                 self.protocol_error(ctx, ProtocolError::MappingFailed { node, page })
             }
+            SvmReq::Clock => self.on_clock(ctx, node),
+            SvmReq::SleepUntil { until } => self.on_sleep(ctx, node, until),
         }
     }
 }

@@ -44,4 +44,4 @@ pub use machine::{Agent, AppRequest, AppResponse, Ctx, Machine, RunError, RunOut
 pub use netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
 pub use nodefault::{CrashSpec, NodeFaultConfig, NodeFaultPlan, NodeFaultStats};
 pub use traffic::{Message, TrafficClass, TrafficStats};
-pub use types::{NodeId, ProcAddr, ProcKind};
+pub use types::{NodeId, NodeRole, ProcAddr, ProcKind};

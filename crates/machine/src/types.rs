@@ -71,3 +71,53 @@ impl fmt::Display for ProcAddr {
         }
     }
 }
+
+/// The role a node plays in a request-driven (served-traffic) topology.
+///
+/// The machine itself is symmetric — every node has the same processors
+/// and memory — so roles are a *labeling* of the existing topology:
+/// servers host the DSM pages behind a service (their pages' homes, under
+/// the home-based protocols) and otherwise run no application loop;
+/// clients run load generators against them. The split is by node index:
+/// the first `servers` nodes serve, the rest drive load.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeRole {
+    /// Hosts service data (and its pages' homes); passively serves
+    /// protocol traffic.
+    Server,
+    /// Runs a load-generator loop issuing requests against the servers.
+    Client,
+}
+
+impl NodeRole {
+    /// The role of `node` in a topology whose first `servers` nodes serve.
+    pub fn of(node: usize, servers: usize) -> NodeRole {
+        if node < servers {
+            NodeRole::Server
+        } else {
+            NodeRole::Client
+        }
+    }
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRole::Server => f.write_str("server"),
+            NodeRole::Client => f.write_str("client"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod role_tests {
+    use super::*;
+
+    #[test]
+    fn roles_split_by_index() {
+        assert_eq!(NodeRole::of(0, 2), NodeRole::Server);
+        assert_eq!(NodeRole::of(1, 2), NodeRole::Server);
+        assert_eq!(NodeRole::of(2, 2), NodeRole::Client);
+        assert_eq!(format!("{}", NodeRole::Client), "client");
+    }
+}

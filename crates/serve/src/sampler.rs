@@ -1,0 +1,197 @@
+//! Seeded samplers for key popularity, arrival times, and think times.
+//!
+//! Everything here is a pure function of a [`SplitMix64`] stream, so a
+//! serve run is bit-reproducible: the same seed yields the same keys, the
+//! same arrival schedule, and the same think times, independent of
+//! protocol, node count, or host parallelism. Floating point is used only
+//! through deterministic `f64` arithmetic (`ln`, `powf`) on values derived
+//! from the generator — no wall clock, no global state.
+
+use svm_sim::rng::SplitMix64;
+use svm_sim::{SimDuration, SimTime};
+
+/// Key-popularity distribution over `0..keys`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta`: key rank `i` has weight
+    /// `1/(i+1)^theta`. `theta = 0` degenerates to uniform; web-style
+    /// skew is conventionally `theta ≈ 0.99` (YCSB's default).
+    Zipfian {
+        /// The skew exponent.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// Short label for tables and JSON (`uniform` / `zipf0.99`).
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian { theta } => format!("zipf{theta}"),
+        }
+    }
+}
+
+/// A sampler over `0..keys` drawing from a [`KeyDist`].
+///
+/// Zipfian sampling precomputes the cumulative weight table once and
+/// inverts it by binary search per draw — `O(log keys)`, exact, and
+/// trivially deterministic (no rejection loops).
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    keys: usize,
+    /// Cumulative weights normalized to 1.0 (empty for uniform).
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Build a sampler for `keys` keys under `dist`.
+    pub fn new(keys: usize, dist: &KeyDist) -> Self {
+        assert!(keys >= 1, "sampler needs at least one key");
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipfian { theta } => {
+                let mut acc = 0.0f64;
+                let mut cdf = Vec::with_capacity(keys);
+                for i in 0..keys {
+                    acc += 1.0 / ((i + 1) as f64).powf(*theta);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for w in &mut cdf {
+                    *w /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { keys, cdf }
+    }
+
+    /// Number of keys.
+    pub fn keys(&self) -> usize {
+        self.keys
+    }
+
+    /// Draw a key.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        if self.cdf.is_empty() {
+            return rng.below(self.keys as u64) as usize;
+        }
+        let u = rng.next_f64();
+        // First index whose cumulative weight exceeds u.
+        let mut lo = 0usize;
+        let mut hi = self.keys - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] > u {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+}
+
+/// Draw an exponentially distributed duration with the given mean.
+///
+/// The `1 - u` guard keeps the argument of `ln` strictly positive
+/// (`next_f64` is in `[0, 1)`), so the result is always finite.
+pub fn exp_duration(rng: &mut SplitMix64, mean: SimDuration) -> SimDuration {
+    let u = rng.next_f64();
+    let x = -(1.0 - u).ln() * mean.as_nanos() as f64;
+    SimDuration::from_nanos(x.round() as u64)
+}
+
+/// An open-loop arrival schedule: `n` arrival *offsets* (relative to the
+/// client's measurement origin), with exponentially distributed
+/// inter-arrival times at `per_sec` arrivals per virtual second —
+/// a seeded Poisson process in virtual time.
+pub fn arrival_offsets(rng: &mut SplitMix64, n: usize, per_sec: f64) -> Vec<SimDuration> {
+    assert!(per_sec > 0.0, "open-loop rate must be positive");
+    let mean = SimDuration::from_nanos((1e9 / per_sec).round() as u64);
+    let mut t = SimDuration::ZERO;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += exp_duration(rng, mean);
+        out.push(t);
+    }
+    out
+}
+
+/// Materialize an offset schedule against an absolute origin.
+pub fn absolute_schedule(origin: SimTime, offsets: &[SimDuration]) -> Vec<SimTime> {
+    offsets.iter().map(|&d| origin + d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs(keys: usize, dist: &KeyDist, seed: u64, n: usize) -> Vec<u64> {
+        let s = KeySampler::new(keys, dist);
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0u64; keys];
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samplers_are_deterministic_across_instances() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipfian { theta: 0.99 }] {
+            let a = freqs(64, &dist, 42, 2000);
+            let b = freqs(64, &dist, 42, 2000);
+            assert_eq!(a, b);
+        }
+        let mut r1 = SplitMix64::new(7);
+        let mut r2 = SplitMix64::new(7);
+        assert_eq!(
+            arrival_offsets(&mut r1, 100, 10_000.0),
+            arrival_offsets(&mut r2, 100, 10_000.0)
+        );
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_with_theta() {
+        // The head key's empirical frequency is monotone in the exponent.
+        let thetas = [0.0, 0.5, 0.99, 1.5];
+        let mut head = Vec::new();
+        for t in thetas {
+            let c = freqs(64, &KeyDist::Zipfian { theta: t }, 1, 8000);
+            head.push(c[0]);
+        }
+        for w in head.windows(2) {
+            assert!(w[0] < w[1], "head mass not monotone in theta: {head:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let c = freqs(16, &KeyDist::Zipfian { theta: 0.0 }, 3, 16_000);
+        let (lo, hi) = (
+            *c.iter().min().unwrap() as f64,
+            *c.iter().max().unwrap() as f64,
+        );
+        assert!(hi / lo < 1.5, "theta=0 should be near-uniform: {c:?}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_ordered_and_rate_scaled() {
+        let mut rng = SplitMix64::new(9);
+        let a = arrival_offsets(&mut rng, 500, 10_000.0);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival ~ 100us at 10k/s; allow generous tolerance.
+        let mean_ns = a.last().unwrap().as_nanos() as f64 / a.len() as f64;
+        assert!((60_000.0..160_000.0).contains(&mean_ns), "{mean_ns}");
+        // Double the rate => the nth arrival lands earlier.
+        let mut r1 = SplitMix64::new(11);
+        let mut r2 = SplitMix64::new(11);
+        let slow = arrival_offsets(&mut r1, 200, 5_000.0);
+        let fast = arrival_offsets(&mut r2, 200, 20_000.0);
+        assert!(fast[199] < slow[199]);
+    }
+}

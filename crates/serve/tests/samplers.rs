@@ -1,0 +1,112 @@
+//! Property-based tests pinning the serve samplers: deterministic across
+//! seeds, monotone in skew, and well-formed arrival schedules — on the
+//! in-tree `svm-testkit` harness (seeded, deterministic, shrinking;
+//! reproduce with `TESTKIT_SEED=…`).
+
+use svm_serve::{arrival_offsets, exp_duration, KeyDist, KeySampler};
+use svm_sim::rng::SplitMix64;
+use svm_sim::SimDuration;
+use svm_testkit::{check, Source};
+
+/// A (keys, seed, theta) scenario: small enough to count frequencies.
+fn scenario(src: &mut Source) -> (usize, u64, f64) {
+    let keys = src.usize_in(1..128);
+    let seed = src.u64_in(0..u64::MAX);
+    let theta = src.usize_in(0..30) as f64 / 10.0; // 0.0 ..= 2.9
+    (keys, seed, theta)
+}
+
+fn draws(keys: usize, dist: &KeyDist, seed: u64, n: usize) -> Vec<usize> {
+    let s = KeySampler::new(keys, dist);
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| s.sample(&mut rng)).collect()
+}
+
+/// The same seed always yields the same key sequence, for any
+/// distribution — the determinism contract every serve run rests on.
+#[test]
+fn sampling_is_a_pure_function_of_the_seed() {
+    check("sampling_is_pure", scenario, |&(keys, seed, theta)| {
+        for dist in [KeyDist::Uniform, KeyDist::Zipfian { theta }] {
+            let a = draws(keys, &dist, seed, 200);
+            let b = draws(keys, &dist, seed, 200);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&k| k < keys), "all draws in range");
+        }
+    });
+}
+
+/// Raising the Zipf exponent never moves probability mass *away* from the
+/// head key: the empirical head frequency is monotone (weakly, per
+/// sample) in theta for a fixed seed.
+#[test]
+fn head_mass_is_monotone_in_skew() {
+    check(
+        "head_mass_monotone_in_skew",
+        |src| (src.usize_in(2..64), src.u64_in(0..u64::MAX)),
+        |&(keys, seed)| {
+            let mut prev = 0usize;
+            for tenths in [0u32, 7, 14, 25] {
+                let theta = tenths as f64 / 10.0;
+                let head = draws(keys, &KeyDist::Zipfian { theta }, seed, 2000)
+                    .iter()
+                    .filter(|&&k| k == 0)
+                    .count();
+                assert!(
+                    head + 60 >= prev,
+                    "head mass dropped with skew: {prev} -> {head} (keys {keys}, theta {theta})"
+                );
+                prev = prev.max(head);
+            }
+        },
+    );
+}
+
+/// Arrival schedules are sorted, deterministic, and scale with the rate:
+/// a faster rate never finishes its nth arrival later (same seed).
+#[test]
+fn arrival_schedules_are_sorted_and_rate_monotone() {
+    check(
+        "arrivals_sorted_rate_monotone",
+        |src| (src.u64_in(0..u64::MAX), src.usize_in(1..300)),
+        |&(seed, n)| {
+            let offs = arrival_offsets(&mut SplitMix64::new(seed), n, 10_000.0);
+            assert_eq!(offs.len(), n);
+            assert!(offs.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            assert_eq!(
+                offs,
+                arrival_offsets(&mut SplitMix64::new(seed), n, 10_000.0),
+                "deterministic"
+            );
+            let fast = arrival_offsets(&mut SplitMix64::new(seed), n, 40_000.0);
+            assert!(
+                fast[n - 1] <= offs[n - 1],
+                "4x the rate must not finish later"
+            );
+        },
+    );
+}
+
+/// Exponential draws are finite, and their empirical mean lands within a
+/// loose factor of the requested mean (law of large numbers at n=4000).
+#[test]
+fn exp_durations_track_the_mean() {
+    check(
+        "exp_durations_track_mean",
+        |src| (src.u64_in(0..u64::MAX), src.usize_in(1..1000)),
+        |&(seed, mean_us)| {
+            let mean = SimDuration::from_micros(mean_us as u64);
+            let mut rng = SplitMix64::new(seed);
+            let n = 4000;
+            let total: u64 = (0..n)
+                .map(|_| exp_duration(&mut rng, mean).as_nanos())
+                .sum();
+            let avg = total as f64 / n as f64;
+            let want = mean.as_nanos() as f64;
+            assert!(
+                avg > want * 0.8 && avg < want * 1.25,
+                "empirical mean {avg} vs requested {want}"
+            );
+        },
+    );
+}

