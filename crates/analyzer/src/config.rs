@@ -23,6 +23,17 @@ pub struct Config {
     pub totality_enums: Vec<String>,
     /// Where match arms for the totality enums are expected to live.
     pub totality_match_paths: Vec<String>,
+    /// Enum names whose variants must all be replayed by the trace
+    /// checker (the `trace-totality` rule).
+    pub trace_enums: Vec<String>,
+    /// Where the trace-totality match arms are expected to live.
+    pub trace_match_paths: Vec<String>,
+    /// The timer-token registry file: its `*_LO`/`*_HI` constant pairs
+    /// declare the non-overlapping token namespaces.
+    pub token_registry_path: String,
+    /// Under these prefixes, every `set_timer` call must derive its token
+    /// from a name the registry declares.
+    pub token_call_paths: Vec<String>,
 }
 
 impl Config {
@@ -38,6 +49,10 @@ impl Config {
             panic_paths: vec!["crates/core/src/protocol/".into()],
             totality_enums: vec!["SvmReq".into(), "SvmMsg".into(), "Wire".into()],
             totality_match_paths: vec!["crates/core/src".into()],
+            trace_enums: vec!["TraceEvent".into()],
+            trace_match_paths: vec!["crates/checker/src".into()],
+            token_registry_path: "crates/core/src/protocol/tokens.rs".into(),
+            token_call_paths: vec!["crates/core/src/protocol/".into()],
         }
     }
 
@@ -55,6 +70,14 @@ impl Config {
 
     pub fn in_totality_scope(&self, path: &str) -> bool {
         has_prefix(&self.totality_match_paths, path)
+    }
+
+    pub fn in_trace_scope(&self, path: &str) -> bool {
+        has_prefix(&self.trace_match_paths, path)
+    }
+
+    pub fn in_token_call_scope(&self, path: &str) -> bool {
+        has_prefix(&self.token_call_paths, path)
     }
 }
 

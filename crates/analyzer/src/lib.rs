@@ -17,6 +17,12 @@
 //!   `ProtocolError` returns.
 //! - `message-totality` — every `SvmReq`/`SvmMsg`/`Wire` variant appears
 //!   in a match arm; no catch-all `_ =>` over those enums.
+//! - `trace-totality` — every `TraceEvent` variant is matched by the
+//!   trace checker's replay; no catch-all over recorded event kinds.
+//! - `timer-token-disjointness` — the token registry's `*_LO`/`*_HI`
+//!   pairs form non-empty, pairwise-disjoint ranges, and every
+//!   `set_timer` call in the protocol derives its token from a name the
+//!   registry declares.
 //!
 //! Per-site suppression: `// lint: allow(<rule>, <reason>)` on the line
 //! or within three lines above; the reason is mandatory.
@@ -45,7 +51,7 @@ pub struct SourceSpec {
 #[derive(Clone, Debug)]
 pub struct Finding {
     /// Stable rule id (`determinism`, `unsafe-audit`, `panic-policy`,
-    /// `message-totality`).
+    /// `message-totality`, `trace-totality`, `timer-token-disjointness`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,

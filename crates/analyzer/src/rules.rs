@@ -1,4 +1,4 @@
-//! The four domain lints, run over lexed token streams.
+//! The six domain lints, run over lexed token streams.
 //!
 //! Every rule reports through [`Finding`] and honors the shared
 //! suppression convention: a comment on the offending line, or ending at
@@ -143,8 +143,10 @@ pub fn run(files: &[SourceSpec], cfg: &Config) -> Vec<Finding> {
         unsafe_audit(ctx, &mut findings);
         panic_policy(ctx, cfg, &mut findings);
         catch_all_arms(ctx, cfg, &mut findings);
+        timer_token_call_sites(ctx, &ctxs, cfg, &mut findings);
     }
     totality(&ctxs, cfg, &mut findings);
+    timer_token_ranges(&ctxs, cfg, &mut findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
@@ -351,15 +353,41 @@ fn skip_balanced(sig: &[Tok], mut i: usize) -> usize {
     i
 }
 
-/// message-totality, part 1: every variant of a watched enum must appear
-/// in at least one match arm somewhere in the totality scope.
+/// message-totality / trace-totality, part 1: every variant of a watched
+/// enum must appear in at least one match arm somewhere in that rule's
+/// scope.
 fn totality(ctxs: &[FileCtx], cfg: &Config, out: &mut Vec<Finding>) {
-    const RULE: &str = "message-totality";
+    enum_totality(
+        ctxs,
+        &cfg.totality_enums,
+        &|p| cfg.in_totality_scope(p),
+        "message-totality",
+        "in the protocol handlers; new message kinds must be handled explicitly",
+        out,
+    );
+    enum_totality(
+        ctxs,
+        &cfg.trace_enums,
+        &|p| cfg.in_trace_scope(p),
+        "trace-totality",
+        "in the trace checker's replay; every recorded event kind must be checked",
+        out,
+    );
+}
+
+fn enum_totality(
+    ctxs: &[FileCtx],
+    watched: &[String],
+    in_scope: &dyn Fn(&str) -> bool,
+    rule: &'static str,
+    consequence: &str,
+    out: &mut Vec<Finding>,
+) {
     let defs: Vec<(usize, u32, String, Vec<String>)> = ctxs
         .iter()
         .enumerate()
         .flat_map(|(fi, ctx)| {
-            enum_defs(&ctx.sig, &cfg.totality_enums)
+            enum_defs(&ctx.sig, watched)
                 .into_iter()
                 .map(move |(line, name, variants)| (fi, line, name, variants))
         })
@@ -368,17 +396,14 @@ fn totality(ctxs: &[FileCtx], cfg: &Config, out: &mut Vec<Finding>) {
         for variant in variants {
             let matched = ctxs
                 .iter()
-                .filter(|c| cfg.in_totality_scope(&c.path))
+                .filter(|c| in_scope(&c.path))
                 .any(|c| has_match_arm(&c.sig, &name, &variant));
             let ctx = &ctxs[fi];
-            if !matched && !ctx.allowed(line, RULE) {
+            if !matched && !ctx.allowed(line, rule) {
                 out.push(ctx.finding(
-                    RULE,
+                    rule,
                     line,
-                    format!(
-                        "variant {name}::{variant} is never matched in the protocol \
-                         handlers; new message kinds must be handled explicitly"
-                    ),
+                    format!("variant {name}::{variant} is never matched {consequence}"),
                 ));
             }
         }
@@ -467,13 +492,19 @@ fn has_match_arm(sig: &[Tok], enum_name: &str, variant: &str) -> bool {
     false
 }
 
-/// message-totality, part 2: flag catch-all `_ =>` arms in matches over
-/// watched enums — they would silently swallow newly added message kinds.
+/// message-totality / trace-totality, part 2: flag catch-all `_ =>` arms
+/// in matches over watched enums — they would silently swallow newly
+/// added message or event kinds.
 fn catch_all_arms(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
-    const RULE: &str = "message-totality";
-    if !cfg.in_totality_scope(&ctx.path) {
-        return;
+    if cfg.in_totality_scope(&ctx.path) {
+        catch_all_in(ctx, &cfg.totality_enums, "message-totality", out);
     }
+    if cfg.in_trace_scope(&ctx.path) {
+        catch_all_in(ctx, &cfg.trace_enums, "trace-totality", out);
+    }
+}
+
+fn catch_all_in(ctx: &FileCtx, watched: &[String], rule: &'static str, out: &mut Vec<Finding>) {
     let sig = &ctx.sig;
     for i in 0..sig.len() {
         if !is_ident(sig.get(i), "match") {
@@ -490,12 +521,12 @@ fn catch_all_arms(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
         }
         let end = skip_balanced(sig, open);
         let body = &sig[open + 1..end.saturating_sub(1)];
-        let watched = (0..body.len()).any(|k| {
+        let over_watched = (0..body.len()).any(|k| {
             body[k].kind == TokKind::Ident
-                && cfg.totality_enums.iter().any(|e| *e == body[k].text)
+                && watched.iter().any(|e| *e == body[k].text)
                 && is_sep(body, k + 1)
         });
-        if !watched {
+        if !over_watched {
             continue;
         }
         let mut depth = 0usize;
@@ -506,12 +537,12 @@ fn catch_all_arms(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
                 "_" if depth == 0 => {
                     let arrow = is_punct(body.get(k + 1), "=") && is_punct(body.get(k + 2), ">");
                     let guard = is_ident(body.get(k + 1), "if");
-                    if (arrow || guard) && !ctx.allowed(body[k].line, RULE) {
+                    if (arrow || guard) && !ctx.allowed(body[k].line, rule) {
                         out.push(
                             ctx.finding(
-                                RULE,
+                                rule,
                                 body[k].line,
-                                "catch-all arm in a match over a protocol message enum; \
+                                "catch-all arm in a match over a watched enum; \
                              enumerate the variants so new kinds fail loudly"
                                     .to_string(),
                             ),
@@ -522,4 +553,320 @@ fn catch_all_arms(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// timer-token-disjointness, part 1: the registry's declared `*_LO`/`*_HI`
+/// constant pairs must form well-formed, pairwise-disjoint ranges.
+///
+/// Bounds are checked by a miniature const evaluator (integer literals,
+/// `<<`, `|`, `+`, `-`, parentheses, and references to constants declared
+/// earlier in the same file) — enough for every shape a token namespace
+/// declaration legitimately takes, and anything it cannot evaluate is
+/// itself a finding: a range the analyzer cannot check is not a declared
+/// range.
+fn timer_token_ranges(ctxs: &[FileCtx], cfg: &Config, out: &mut Vec<Finding>) {
+    const RULE: &str = "timer-token-disjointness";
+    let Some(ctx) = ctxs.iter().find(|c| c.path == cfg.token_registry_path) else {
+        return;
+    };
+    let consts = const_defs(&ctx.sig);
+    let mut values: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (name, _, expr) in &consts {
+        if let Some(v) = eval_const(expr, &values) {
+            values.insert(name, v);
+        }
+    }
+    // Pair *_LO with *_HI by namespace prefix, in declaration order.
+    let mut ranges: Vec<(String, u32, u64, u64)> = Vec::new();
+    for (name, line, _) in &consts {
+        let Some(ns) = name.strip_suffix("_LO") else {
+            continue;
+        };
+        let hi_name = format!("{ns}_HI");
+        let Some((_, hi_line, _)) = consts.iter().find(|(n, ..)| *n == hi_name) else {
+            if !ctx.allowed(*line, RULE) {
+                out.push(ctx.finding(
+                    RULE,
+                    *line,
+                    format!("token range {ns} declares {name} but no {hi_name}"),
+                ));
+            }
+            continue;
+        };
+        let (Some(&lo), Some(&hi)) = (values.get(name.as_str()), values.get(hi_name.as_str()))
+        else {
+            if !ctx.allowed(*line, RULE) {
+                out.push(ctx.finding(
+                    RULE,
+                    *line,
+                    format!("token range {ns} has a bound the analyzer cannot const-evaluate"),
+                ));
+            }
+            continue;
+        };
+        if lo >= hi {
+            if !ctx.allowed(*line, RULE) {
+                out.push(ctx.finding(
+                    RULE,
+                    *line,
+                    format!("token range {ns} is empty or inverted ({lo} >= {hi})"),
+                ));
+            }
+            continue;
+        }
+        let _ = hi_line;
+        ranges.push((ns.to_string(), *line, lo, hi));
+    }
+    for (i, (a, _, a_lo, a_hi)) in ranges.iter().enumerate() {
+        for (b, b_line, b_lo, b_hi) in &ranges[i + 1..] {
+            let disjoint = a_hi <= b_lo || b_hi <= a_lo;
+            if !disjoint && !ctx.allowed(*b_line, RULE) {
+                out.push(ctx.finding(
+                    RULE,
+                    *b_line,
+                    format!(
+                        "token ranges {a} [{a_lo}, {a_hi}) and {b} [{b_lo}, {b_hi}) overlap; \
+                         a timer token could be routed to the wrong handler"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `(name, def_line, value-expression tokens)` for each `const` in a file.
+fn const_defs(sig: &[Tok]) -> Vec<(String, u32, Vec<Tok>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if !is_ident(sig.get(i), "const") || sig.get(i + 1).is_none_or(|t| t.kind != TokKind::Ident)
+        {
+            i += 1;
+            continue;
+        }
+        let name = sig[i + 1].text.clone();
+        let line = sig[i + 1].line;
+        let mut j = i + 2;
+        while j < sig.len() && !is_punct(sig.get(j), "=") {
+            j += 1;
+        }
+        let start = j + 1;
+        let mut k = start;
+        while k < sig.len() && !is_punct(sig.get(k), ";") {
+            k += 1;
+        }
+        out.push((name, line, sig[start..k.min(sig.len())].to_vec()));
+        i = k;
+    }
+    out
+}
+
+/// Evaluate a constant expression over `u64`: literals, earlier constants,
+/// `(`, `)`, `<<`, `|`, `+`, `-` — with Rust's precedence (`|` < `<<` <
+/// additive). `None` = not evaluable (unknown name, overflow, or a form
+/// outside the grammar).
+fn eval_const(toks: &[Tok], env: &std::collections::BTreeMap<&str, u64>) -> Option<u64> {
+    let mut pos = 0usize;
+    let v = eval_or(toks, &mut pos, env)?;
+    (pos == toks.len()).then_some(v)
+}
+
+fn eval_or(
+    toks: &[Tok],
+    pos: &mut usize,
+    env: &std::collections::BTreeMap<&str, u64>,
+) -> Option<u64> {
+    let mut v = eval_shift(toks, pos, env)?;
+    while is_punct(toks.get(*pos), "|") {
+        *pos += 1;
+        v |= eval_shift(toks, pos, env)?;
+    }
+    Some(v)
+}
+
+fn eval_shift(
+    toks: &[Tok],
+    pos: &mut usize,
+    env: &std::collections::BTreeMap<&str, u64>,
+) -> Option<u64> {
+    let mut v = eval_add(toks, pos, env)?;
+    while is_punct(toks.get(*pos), "<") && is_punct(toks.get(*pos + 1), "<") {
+        *pos += 2;
+        let rhs = eval_add(toks, pos, env)?;
+        if rhs >= 64 {
+            return None;
+        }
+        v = v.checked_shl(rhs as u32)?;
+    }
+    Some(v)
+}
+
+fn eval_add(
+    toks: &[Tok],
+    pos: &mut usize,
+    env: &std::collections::BTreeMap<&str, u64>,
+) -> Option<u64> {
+    let mut v = eval_primary(toks, pos, env)?;
+    loop {
+        if is_punct(toks.get(*pos), "+") {
+            *pos += 1;
+            v = v.checked_add(eval_primary(toks, pos, env)?)?;
+        } else if is_punct(toks.get(*pos), "-") {
+            *pos += 1;
+            v = v.checked_sub(eval_primary(toks, pos, env)?)?;
+        } else {
+            return Some(v);
+        }
+    }
+}
+
+fn eval_primary(
+    toks: &[Tok],
+    pos: &mut usize,
+    env: &std::collections::BTreeMap<&str, u64>,
+) -> Option<u64> {
+    if is_punct(toks.get(*pos), "(") {
+        *pos += 1;
+        let v = eval_or(toks, pos, env)?;
+        if !is_punct(toks.get(*pos), ")") {
+            return None;
+        }
+        *pos += 1;
+        return Some(v);
+    }
+    let t = toks.get(*pos)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    *pos += 1;
+    let text = t.text.as_str();
+    if text.starts_with(|c: char| c.is_ascii_digit()) {
+        let clean: String = text.chars().filter(|&c| c != '_').collect();
+        let clean = clean
+            .strip_suffix("u64")
+            .or_else(|| clean.strip_suffix("u32"))
+            .unwrap_or(&clean);
+        return if let Some(hex) = clean.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            clean.parse::<u64>().ok()
+        };
+    }
+    env.get(text).copied()
+}
+
+/// timer-token-disjointness, part 2: every `set_timer` call in the token
+/// call scope must derive its token argument from a name the registry
+/// declares — a constant, function, type, or method defined in the
+/// registry file. A bare-identifier token falls back to the `let` binding
+/// that produced it within the preceding ten lines.
+fn timer_token_call_sites(ctx: &FileCtx, ctxs: &[FileCtx], cfg: &Config, out: &mut Vec<Finding>) {
+    const RULE: &str = "timer-token-disjointness";
+    /// How far above a `set_timer` call the lone-identifier fallback will
+    /// look for the binding that produced the token.
+    const BINDING_WINDOW: u32 = 10;
+    if !cfg.in_token_call_scope(&ctx.path) {
+        return;
+    }
+    let registry: std::collections::BTreeSet<&str> = ctxs
+        .iter()
+        .find(|c| c.path == cfg.token_registry_path)
+        .map(|c| declared_names(&c.sig))
+        .unwrap_or_default();
+    let from_registry = |toks: &[Tok]| {
+        toks.iter()
+            .any(|t| t.kind == TokKind::Ident && registry.contains(t.text.as_str()))
+    };
+    let sig = &ctx.sig;
+    for i in 0..sig.len() {
+        if !(is_ident(sig.get(i), "set_timer") && is_punct(sig.get(i + 1), "(")) {
+            continue;
+        }
+        // A `fn set_timer(...)` definition is not a call site.
+        if i > 0 && is_ident(sig.get(i - 1), "fn") {
+            continue;
+        }
+        let line = sig[i].line;
+        let Some(arg) = call_arg(sig, i + 1, 1) else {
+            continue;
+        };
+        let mut ok = from_registry(arg);
+        if !ok && arg.len() == 1 && arg[0].kind == TokKind::Ident {
+            // Lone identifier: find the nearest `let <ident> = ...;` above
+            // and check what it was bound from.
+            let name = arg[0].text.as_str();
+            for j in (0..i).rev() {
+                if sig[j].line + BINDING_WINDOW < line {
+                    break;
+                }
+                if is_ident(sig.get(j), "let")
+                    && is_ident(sig.get(j + 1), name)
+                    && is_punct(sig.get(j + 2), "=")
+                {
+                    let mut k = j + 3;
+                    while k < sig.len() && !is_punct(sig.get(k), ";") {
+                        k += 1;
+                    }
+                    ok = from_registry(&sig[j + 3..k]);
+                    break;
+                }
+            }
+        }
+        if !ok && !ctx.allowed(line, RULE) {
+            out.push(
+                ctx.finding(
+                    RULE,
+                    line,
+                    "set_timer token is not derived from the token registry \
+                 (crates/core/src/protocol/tokens.rs); allocate from a declared namespace"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Names declared at any nesting depth in a token stream: constants,
+/// statics, functions, structs, and enums.
+fn declared_names(sig: &[Tok]) -> std::collections::BTreeSet<&str> {
+    let mut names = std::collections::BTreeSet::new();
+    for i in 0..sig.len() {
+        if matches!(
+            sig[i].text.as_str(),
+            "const" | "static" | "fn" | "struct" | "enum"
+        ) && sig[i].kind == TokKind::Ident
+        {
+            if let Some(n) = sig.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    names.insert(n.text.as_str());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The `nth` (0-based) top-level argument of the call whose opening
+/// parenthesis sits at `open`.
+fn call_arg(sig: &[Tok], open: usize, nth: usize) -> Option<&[Tok]> {
+    let end = skip_balanced(sig, open);
+    let body = &sig[open + 1..end.saturating_sub(1)];
+    let mut depth = 0usize;
+    let mut arg_idx = 0usize;
+    let mut start = 0usize;
+    for k in 0..body.len() {
+        match body[k].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                if arg_idx == nth {
+                    return Some(&body[start..k]);
+                }
+                arg_idx += 1;
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    (arg_idx == nth && start < body.len()).then(|| &body[start..])
 }

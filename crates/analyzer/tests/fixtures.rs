@@ -432,3 +432,206 @@ fn totality_covers_clock_and_sleep_variants() {
     let findings = analyze_files(&[def, current], &cfg());
     assert!(findings.is_empty(), "{findings:#?}");
 }
+
+// ---- trace-totality ----
+
+/// The checker's replay is the last line of defense: a `TraceEvent`
+/// variant it never matches is an event kind the simulator can record
+/// and nobody will ever check. Stale replay (missing `Crash`, catch-all
+/// over the rest) must be flagged at both ends; the current total match
+/// must come back clean.
+#[test]
+fn trace_totality_flags_unreplayed_variant_and_catch_all() {
+    let def = SourceSpec {
+        path: "crates/core/src/trace.rs".into(),
+        src: "pub enum TraceEvent {\n\
+              Read { page: u64 },\n\
+              Write { page: u64 },\n\
+              Crash { node: u16 },\n\
+              }\n"
+        .into(),
+    };
+    // A replay written before crash-recovery existed: Crash is unmatched
+    // and a catch-all swallows whatever else gets recorded.
+    let stale = SourceSpec {
+        path: "crates/checker/src/replay.rs".into(),
+        src: "fn f(e: &TraceEvent) -> u64 {\n\
+              match e {\n\
+              TraceEvent::Read { page } => *page,\n\
+              TraceEvent::Write { page } => *page,\n\
+              _ => 0,\n\
+              }\n\
+              }\n"
+        .into(),
+    };
+    let findings = analyze_files(&[def.clone(), stale], &cfg());
+    assert!(
+        findings.iter().any(|f| f.rule == "trace-totality"
+            && f.file == "crates/core/src/trace.rs"
+            && f.message.contains("Crash")),
+        "unreplayed TraceEvent::Crash not flagged: {findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "trace-totality" && f.file.ends_with("replay.rs") && f.line == 5),
+        "catch-all over TraceEvent not flagged: {findings:#?}"
+    );
+
+    // The recovery-aware replay names every event kind: clean.
+    let current = SourceSpec {
+        path: "crates/checker/src/replay.rs".into(),
+        src: "fn f(e: &TraceEvent) -> u64 {\n\
+              match e {\n\
+              TraceEvent::Read { page } | TraceEvent::Write { page } => *page,\n\
+              TraceEvent::Crash { node } => *node as u64,\n\
+              }\n\
+              }\n"
+        .into(),
+    };
+    let findings = analyze_files(&[def, current], &cfg());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn trace_totality_suppressed_with_reason() {
+    // No checker file at all: every variant is unreplayed, but the def
+    // carries a reasoned allow.
+    let def = SourceSpec {
+        path: "crates/core/src/trace.rs".into(),
+        src: "// lint: allow(trace-totality, legacy event retired from replay)\n\
+              pub enum TraceEvent { Legacy }\n"
+            .into(),
+    };
+    assert!(analyze_files(&[def], &cfg()).is_empty());
+    // Without the reason the finding comes back.
+    let def = SourceSpec {
+        path: "crates/core/src/trace.rs".into(),
+        src: "pub enum TraceEvent { Legacy }\n".into(),
+    };
+    expect_hit(&analyze_files(&[def], &cfg()), "trace-totality", 1);
+}
+
+// ---- timer-token-disjointness ----
+
+/// A fixture registry at the configured registry path.
+fn registry(src: &str) -> SourceSpec {
+    SourceSpec {
+        path: "crates/core/src/protocol/tokens.rs".into(),
+        src: src.to_string(),
+    }
+}
+
+#[test]
+fn token_ranges_overlap_is_flagged() {
+    let findings = analyze_files(
+        &[registry(
+            "pub const A_LO: u64 = 0;\n\
+             pub const A_HI: u64 = 1 << 10;\n\
+             pub const B_LO: u64 = 1 << 9;\n\
+             pub const B_HI: u64 = 1 << 11;\n",
+        )],
+        &cfg(),
+    );
+    expect_hit(&findings, "timer-token-disjointness", 3);
+}
+
+#[test]
+fn token_ranges_empty_unpaired_and_unevaluable_are_flagged() {
+    // Empty range: lo == hi.
+    let findings = analyze_files(
+        &[registry(
+            "pub const A_LO: u64 = 1 << 10;\n\
+             pub const A_HI: u64 = 1 << 10;\n",
+        )],
+        &cfg(),
+    );
+    expect_hit(&findings, "timer-token-disjointness", 1);
+    // *_LO with no *_HI partner.
+    let findings = analyze_files(&[registry("pub const A_LO: u64 = 0;\n")], &cfg());
+    expect_hit(&findings, "timer-token-disjointness", 1);
+    // A bound the mini-evaluator cannot resolve is itself a finding: an
+    // uncheckable range is not a declared range.
+    let findings = analyze_files(
+        &[registry(
+            "pub const A_LO: u64 = magic();\n\
+             pub const A_HI: u64 = 8;\n",
+        )],
+        &cfg(),
+    );
+    expect_hit(&findings, "timer-token-disjointness", 1);
+}
+
+#[test]
+fn token_ranges_clean_when_adjacent_and_expression_bounds_evaluate() {
+    // Half-open ranges touching end-to-start are disjoint, and bounds may
+    // be shifts, sums, parens, and references to earlier constants.
+    let findings = analyze_files(
+        &[registry(
+            "pub const A_LO: u64 = 0;\n\
+             pub const A_HI: u64 = 1 << 62;\n\
+             pub const B_LO: u64 = A_HI;\n\
+             pub const B_HI: u64 = 1 << 63;\n\
+             pub const C_LO: u64 = B_HI;\n\
+             pub const C_HI: u64 = (1 << 63) + 1;\n",
+        )],
+        &cfg(),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn token_call_sites_must_derive_from_registry() {
+    let reg = registry(
+        "pub const SLEEP_LO: u64 = 1 << 8;\n\
+         pub const SLEEP_HI: u64 = 1 << 9;\n\
+         pub fn sleep_token(n: u16) -> u64 { SLEEP_LO + n as u64 }\n\
+         pub struct TimerTokens { next: u64 }\n\
+         impl TimerTokens { pub fn arm(&mut self) -> u64 { self.next } }\n",
+    );
+    let site = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(net: &mut Net) {\n\
+              net.set_timer(5, sleep_token(3), 1);\n\
+              let token = net.tokens.arm();\n\
+              net.set_timer(9, token, 1);\n\
+              net.set_timer(9, 12345, 1);\n\
+              }\n"
+        .into(),
+    };
+    let findings = analyze_files(&[reg, site], &cfg());
+    // Lines 2 (registry fn) and 4 (let-binding from a registry method)
+    // are clean; the bare literal on line 5 is the only finding.
+    expect_hit(&findings, "timer-token-disjointness", 5);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+}
+
+#[test]
+fn token_call_sites_out_of_scope_or_suppressed_are_clean() {
+    let reg = registry(
+        "pub const SLEEP_LO: u64 = 1 << 8;\n\
+         pub const SLEEP_HI: u64 = 1 << 9;\n",
+    );
+    // Same bare-literal call outside the protocol tree: out of scope.
+    let elsewhere = SourceSpec {
+        path: "crates/machine/src/foo.rs".into(),
+        src: "fn f(net: &mut Net) { net.set_timer(9, 12345, 1); }\n".into(),
+    };
+    assert!(analyze_files(&[reg.clone(), elsewhere], &cfg()).is_empty());
+    // In scope but suppressed with a reason.
+    let suppressed = SourceSpec {
+        path: "crates/core/src/protocol/foo.rs".into(),
+        src: "fn f(net: &mut Net) {\n\
+              // lint: allow(timer-token-disjointness, one-shot bootstrap timer)\n\
+              net.set_timer(9, 12345, 1);\n\
+              }\n"
+        .into(),
+    };
+    assert!(analyze_files(&[reg.clone(), suppressed], &cfg()).is_empty());
+    // A `fn set_timer(...)` definition is not a call site.
+    let definition = SourceSpec {
+        path: "crates/core/src/protocol/net.rs".into(),
+        src: "pub fn set_timer(&mut self, at: u64, token: u64, node: u16) {}\n".into(),
+    };
+    assert!(analyze_files(&[reg, definition], &cfg()).is_empty());
+}

@@ -1,0 +1,96 @@
+//! The `perf --check` stdout/stderr contract, pinned end-to-end against
+//! the real binary.
+//!
+//! `scripts/verify.sh` and CI logs depend on this split: the machine-
+//! readable verdict (`perf --check: <path> OK`) goes to **stdout** and
+//! exits 0, while the core-count advisory — a baseline recorded on a
+//! different machine still validates, but its wall-clock numbers are not
+//! comparable — goes to **stderr** as a `WARNING` line without flipping
+//! the exit code. A malformed baseline must fail on stderr with exit 1
+//! and keep stdout free of any OK verdict.
+
+use std::process::Command;
+
+fn run_check(baseline: &str, file: &str) -> std::process::Output {
+    let path = std::env::temp_dir().join(file);
+    std::fs::write(&path, baseline).expect("temp baseline is writable");
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .arg("--check")
+        .arg(&path)
+        .output()
+        .expect("perf binary runs");
+    std::fs::remove_file(&path).ok();
+    out
+}
+
+fn baseline(cores: usize) -> String {
+    format!(
+        r#"{{
+  "schema": "svm-perf-v1",
+  "cores": {cores},
+  "identical": true,
+  "alloc": {{ "peak_live_bytes": 1048576 }},
+  "stages": [
+    {{ "name": "micro", "wall_ms": 12.5 }},
+    {{ "name": "sweep_serial", "wall_ms": 800.0 }}
+  ]
+}}"#
+    )
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[test]
+fn core_count_mismatch_warns_on_stderr_but_passes_on_stdout() {
+    // A core count this host cannot have: the baseline still validates.
+    let out = run_check(&baseline(host_cores() + 7), "perf_check_mismatch.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "mismatch must not fail the check");
+    assert!(
+        stdout.contains("OK"),
+        "stdout must carry the OK verdict, got: {stdout:?}"
+    );
+    assert!(
+        stderr.contains("WARNING") && stderr.contains("cores"),
+        "stderr must carry the core-count warning, got: {stderr:?}"
+    );
+    assert!(
+        !stdout.contains("WARNING"),
+        "the warning must not pollute stdout: {stdout:?}"
+    );
+}
+
+#[test]
+fn matching_core_count_is_silent_on_stderr() {
+    let out = run_check(&baseline(host_cores()), "perf_check_match.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success());
+    assert!(stdout.contains("OK"), "got: {stdout:?}");
+    assert!(
+        stderr.is_empty(),
+        "a matching baseline must produce no stderr, got: {stderr:?}"
+    );
+}
+
+#[test]
+fn malformed_baseline_fails_on_stderr_with_no_ok_verdict() {
+    let bad = r#"{ "schema": "svm-perf-v1", "cores": 0, "identical": false }"#;
+    let out = run_check(bad, "perf_check_bad.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "shape violations must exit nonzero");
+    assert!(
+        !stdout.contains("OK"),
+        "a failing check must not print OK: {stdout:?}"
+    );
+    assert!(
+        stderr.contains("cores") && stderr.contains("identical"),
+        "every shape problem is reported on stderr, got: {stderr:?}"
+    );
+}

@@ -170,6 +170,11 @@ impl<'t> Replay<'t> {
     }
 
     /// Is this event's HB gate open?
+    ///
+    /// Every [`TraceEvent`] variant is matched explicitly (no catch-all):
+    /// adding a variant must force a decision here about its gate, not
+    /// silently inherit "always ready" — the analyzer's `trace-totality`
+    /// rule pins this.
     fn ready(&self, ev: &TraceEvent) -> bool {
         match ev {
             TraceEvent::Acquire { lock, seq, .. } => {
@@ -186,7 +191,15 @@ impl<'t> Replay<'t> {
                     r.entered + excused == self.trace.nodes
                 })
             }
-            _ => true,
+            // Data accesses replay in program order within their stream.
+            TraceEvent::Read { .. } | TraceEvent::Write { .. } => true,
+            // Releases only publish; barrier entry gates nobody (the
+            // *leave* is the rendezvous); interval closes are node-local
+            // bookkeeping; a crash declaration ends the stream.
+            TraceEvent::Release { .. }
+            | TraceEvent::BarrierEnter { .. }
+            | TraceEvent::IntervalEnd { .. }
+            | TraceEvent::Crash { .. } => true,
         }
     }
 

@@ -15,26 +15,19 @@
 //!   traffic while the application sleeps, exactly like a real server
 //!   blocked in `epoll_wait`.
 //!
-//! Sleep timer tokens live in their own namespace: bit 62. The reliable
-//! layer's [`super::reliable::TimerTokens`] allocates monotonically from 0
-//! (reaching 2^62 would take more events than any run schedules), and the
-//! heartbeat token is bit 63, so the three ranges can never collide.
+//! Sleep timer tokens live in their own declared namespace (bit 62), one
+//! of the three ranges [`super::tokens`] partitions the token space into;
+//! the retransmit allocator counts up from 0 and the heartbeat token is
+//! bit 63, so the three ranges can never collide.
 
 use svm_machine::{Category, NodeId};
 use svm_sim::SimTime;
 
+use super::tokens;
 use super::{MCtx, SvmAgent};
 use crate::msg::SvmResp;
 
-/// Sleep-timer token namespace: bit 62 set, node id in the low bits.
-/// Distinct from [`super::recovery::HB_TOKEN`] (bit 63) and from the
-/// monotonic retransmit-token counter (which starts at 0).
-pub const SLEEP_TOKEN_BASE: u64 = 1 << 62;
-
-/// Whether `token` belongs to the sleep namespace.
-pub fn is_sleep_token(token: u64) -> bool {
-    token & SLEEP_TOKEN_BASE != 0 && token != super::recovery::HB_TOKEN
-}
+pub use super::tokens::{is_sleep_token, SLEEP_TOKEN_BASE};
 
 impl SvmAgent {
     /// `SvmReq::Clock`: answer with the cursor time, charging nothing.
@@ -53,32 +46,14 @@ impl SvmAgent {
             return;
         }
         ctx.block_app(node, Category::Idle);
-        ctx.set_timer(until.since(now), SLEEP_TOKEN_BASE | node.0 as u64);
+        ctx.set_timer(until.since(now), tokens::sleep_token(node));
     }
 
     /// A sleep deadline fired: wake the application. Timers are
     /// epoch-fenced by the machine, so a sleeper that crashed and
     /// restarted never sees a stale wakeup.
     pub(crate) fn on_sleep_timer(&mut self, ctx: &mut MCtx<'_>, token: u64) {
-        let node = NodeId((token & !SLEEP_TOKEN_BASE) as u16);
+        let node = tokens::sleep_node(token);
         ctx.ack_app(node);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sleep_tokens_are_disjoint_from_heartbeat_and_retransmit_ranges() {
-        let t = SLEEP_TOKEN_BASE | 7;
-        assert!(is_sleep_token(t));
-        assert!(!is_sleep_token(super::super::recovery::HB_TOKEN));
-        // The retransmit registry allocates monotonically from 0; the
-        // first 2^62 tokens are all outside the sleep namespace.
-        assert!(!is_sleep_token(0));
-        assert!(!is_sleep_token(123_456));
-        assert!(!is_sleep_token(SLEEP_TOKEN_BASE - 1));
-        assert_eq!(t & !SLEEP_TOKEN_BASE, 7);
     }
 }

@@ -115,7 +115,7 @@ impl SvmAgent {
 
     // ---- homeless fetch ----
 
-    fn start_lrc_fetch(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
+    pub(crate) fn start_lrc_fetch(&mut self, ctx: &mut MCtx<'_>, n: NodeId, page: PageNum) {
         let idx = n.index();
         if self.nodes_st[idx].pages[page.0 as usize].buf.is_none() {
             // Cold (or post-GC) miss: fetch a base copy first.
@@ -147,6 +147,23 @@ impl SvmAgent {
         if needs.is_empty() {
             self.validate_lrc_page(ctx, n, page, Vec::new());
             return;
+        }
+        // Homeless diffs live only at their writer: a needed interval from a
+        // declared-dead writer (and not already in the base copy we merged)
+        // can never be collected. Honest graceful degradation is a
+        // structured error, not a silent stale read or a hang.
+        for &(w, ..) in &needs {
+            if !self.recovery.alive[w.index()] {
+                self.protocol_error(
+                    ctx,
+                    crate::protocol::ProtocolError::UnrecoverableDiffs {
+                        node: n,
+                        page,
+                        writer: w,
+                    },
+                );
+                return;
+            }
         }
         // INVARIANT: request_diffs runs inside the fault recorded by on_fault.
         self.nodes_st[idx].fault.as_mut().expect("fault").stage = FaultStage::AwaitDiffs {

@@ -23,8 +23,21 @@ impl SvmAgent {
         if home == n {
             let st = &mut self.nodes_st[idx].pages[page.0 as usize];
             if st.home_stale {
-                // Our own home copy is waiting for an in-flight diff: stall
-                // until it lands (no message needed).
+                // Our own home copy is waiting for an in-flight diff. A
+                // missing flush from a declared-dead writer will never
+                // arrive: that is a structured error, not a stall.
+                if let Some(w) = self.dead_version_dep(page, n) {
+                    self.protocol_error(
+                        ctx,
+                        super::ProtocolError::UnrecoverableDiffs {
+                            node: n,
+                            page,
+                            writer: w,
+                        },
+                    );
+                    return;
+                }
+                let st = &mut self.nodes_st[idx].pages[page.0 as usize];
                 self.counters[idx].home_stalls += 1;
                 st.local_waiter = true;
                 // INVARIANT: this path runs inside the fault recorded by on_fault.
@@ -74,10 +87,58 @@ impl SvmAgent {
         if ready {
             self.reply_home_page(ctx, h, page, requester);
         } else {
+            // A requirement naming a declared-dead writer's un-flushed
+            // interval will never be met — fail the fetch instead of
+            // parking it forever.
+            if let Some(w) = self.dead_dep_in(h, page, &need) {
+                self.protocol_error(
+                    ctx,
+                    super::ProtocolError::UnrecoverableDiffs {
+                        node: requester,
+                        page,
+                        writer: w,
+                    },
+                );
+                return;
+            }
             self.nodes_st[h.index()].pages[page.0 as usize]
                 .waiting_fetches
                 .push((requester, need));
         }
+    }
+
+    /// The home copy's own unmet version requirement from a dead writer
+    /// (the local-stall variant of [`SvmAgent::dead_dep_in`]).
+    pub(crate) fn dead_version_dep(&self, page: PageNum, h: NodeId) -> Option<NodeId> {
+        let need = self.nodes_st[h.index()].pages[page.0 as usize]
+            .seen
+            .to_vec();
+        self.dead_dep_in(h, page, &need)
+    }
+
+    /// The first declared-dead writer whose un-flushed interval keeps `h`'s
+    /// copy of `page` from ever covering `need`: the writer is dead, the
+    /// interval is past what the copy has applied, and no harvested
+    /// in-flight flush is still pending for it. `None` = the wait can still
+    /// resolve.
+    pub(crate) fn dead_dep_in(
+        &self,
+        h: NodeId,
+        page: PageNum,
+        need: &[(NodeId, u32)],
+    ) -> Option<NodeId> {
+        let st = &self.nodes_st[h.index()].pages[page.0 as usize];
+        need.iter().find_map(|&(w, i)| {
+            let a = st.applied.get(w);
+            (i > a
+                && !self.recovery.alive[w.index()]
+                && !self
+                    .recovery
+                    .pending_flushes
+                    .iter()
+                    .any(|&(p2, w2, i2, _)| p2 == page && w2 == w && i2 > a))
+            .then_some(w)
+        })
     }
 
     fn reply_home_page(&mut self, ctx: &mut MCtx<'_>, h: NodeId, page: PageNum, to: NodeId) {

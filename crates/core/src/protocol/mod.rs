@@ -15,6 +15,7 @@ pub mod recovery;
 pub mod reliable;
 pub mod state;
 pub mod sync;
+pub mod tokens;
 
 use svm_machine::{Agent, Ctx, NodeId, ProcAddr, ProcKind};
 use svm_mem::{Geometry, PageBuf, PageNum};
@@ -106,6 +107,19 @@ pub enum ProtocolError {
         /// The dead writer whose diffs are gone.
         writer: NodeId,
     },
+    /// Graceful recovery regenerated a lock token whose dead holder had
+    /// completed a write interval recorded nowhere among the survivors:
+    /// the next holder could not be told which pages that interval
+    /// dirtied, so a silent stale read would be possible. Detected at
+    /// regeneration and failed loudly instead.
+    LostInterval {
+        /// The lock whose token was regenerated.
+        lock: u32,
+        /// The dead writer whose interval records are gone.
+        writer: NodeId,
+        /// The first unrecoverable interval.
+        interval: u32,
+    },
 }
 
 impl ProtocolError {
@@ -120,6 +134,7 @@ impl ProtocolError {
             | ProtocolError::NodeFailed { node, .. }
             | ProtocolError::UnrecoverablePage { node, .. }
             | ProtocolError::UnrecoverableDiffs { node, .. } => *node,
+            ProtocolError::LostInterval { writer, .. } => *writer,
         }
     }
 }
@@ -165,6 +180,17 @@ impl std::fmt::Display for ProtocolError {
                     f,
                     "node {node:?}: page {} needs diffs that died with writer node {}",
                     page.0, writer.0
+                )
+            }
+            ProtocolError::LostInterval {
+                lock,
+                writer,
+                interval,
+            } => {
+                write!(
+                    f,
+                    "lock {lock} regeneration lost interval {interval} of dead writer node {}",
+                    writer.0
                 )
             }
         }
@@ -680,6 +706,21 @@ impl Agent for SvmAgent {
 
     fn on_restart(&mut self, ctx: &mut MCtx<'_>, node: NodeId) {
         self.on_node_restart(ctx, node);
+    }
+
+    fn on_explore_crash(&mut self, ctx: &mut MCtx<'_>, at: NodeId, dead: NodeId) {
+        // Explore mode has no heartbeat lapse: the controller issues the
+        // detection verdict as its own explored action — only after the
+        // dead node's outbound backlog has drained, mirroring the timed
+        // system where the detection timeout dwarfs network latency — and
+        // the verdict's `NodeDown` broadcast (plus every repair message it
+        // triggers) re-enters the hold pool as ordinary explorable
+        // actions. Without recovery there is no detector; the survivors'
+        // fate (deadlock or completion) is what the explorer observes.
+        let _ = at;
+        if self.recovery_active() {
+            self.declare_dead(ctx, dead);
+        }
     }
 
     fn on_request(&mut self, ctx: &mut MCtx<'_>, node: NodeId, req: SvmReq) {

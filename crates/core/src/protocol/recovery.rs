@@ -44,6 +44,7 @@
 //! died, ends in a structured error — graceful degradation means honest
 //! termination, never fabricated data.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -60,10 +61,9 @@ use super::reliable::Wire;
 use super::state::{FaultStage, TokenState, WriterMap};
 use super::{MCtx, ProtocolError, SvmAgent};
 
-/// Timer token reserved for heartbeat ticks. Retransmit tokens are
-/// allocated upward from zero and can never reach it (the allocator would
-/// have to survive 2^63 arms).
-pub const HB_TOKEN: u64 = 1 << 63;
+/// Timer token reserved for heartbeat ticks: the heartbeat namespace's
+/// single member in the declared registry ([`super::tokens`]).
+pub use super::tokens::HB_TOKEN;
 
 /// What recovery did during a run (reported on `RunReport`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -104,8 +104,10 @@ pub struct RecoveryState {
     /// the adopting manager.
     pub(crate) pending_arrivals: Vec<SvmMsg>,
     /// Locks whose grant to the dead node was harvested (token-lost
-    /// evidence), with the grant's causal time.
-    pub(crate) lost_grants: BTreeMap<u32, VectorTime>,
+    /// evidence), with the grant's causal time and the write-notice records
+    /// it carried — records that may exist nowhere else once the granter's
+    /// log is the only survivor copy.
+    pub(crate) lost_grants: BTreeMap<u32, (VectorTime, Vec<Rc<IntervalRec>>)>,
     /// Harvested lock acquires `(lock, requester, vt)` that never reached
     /// the dead node; re-driven through the manager during lock repair.
     pub(crate) orphaned_acquires: Vec<(u32, NodeId, VectorTime)>,
@@ -301,8 +303,8 @@ impl SvmAgent {
                             .push((page, writer, interval, diff));
                     }
                     SvmMsg::BarrierArrive { .. } => self.recovery.pending_arrivals.push(msg),
-                    SvmMsg::LockGrant { lock, vt, .. } => {
-                        self.recovery.lost_grants.insert(lock.0, vt);
+                    SvmMsg::LockGrant { lock, vt, records } => {
+                        self.recovery.lost_grants.insert(lock.0, (vt, records));
                     }
                     SvmMsg::LockRequest {
                         lock,
@@ -352,10 +354,25 @@ impl SvmAgent {
             let (page, stage) = (f.page, &f.stage);
             let err = match stage {
                 FaultStage::AwaitPage if self.dir[page.0 as usize].validator == dead => {
-                    Some(ProtocolError::UnrecoverablePage {
-                        node: NodeId(p as u16),
-                        page,
-                    })
+                    // The base-copy request died with the validator. If any
+                    // survivor still holds a copy, the fetch is re-driven
+                    // against the re-elected validator (diff gaps resolve
+                    // or error at collection time); with no surviving copy
+                    // the page is gone.
+                    let any_copy = (0..self.cfg.nodes).any(|c| {
+                        c != dead.index()
+                            && self.recovery.alive[c]
+                            && self.nodes_st[c].pages[page.0 as usize].buf.is_some()
+                    });
+                    if any_copy {
+                        self.recovery.refetch.push((NodeId(p as u16), page));
+                        None
+                    } else {
+                        Some(ProtocolError::UnrecoverablePage {
+                            node: NodeId(p as u16),
+                            page,
+                        })
+                    }
                 }
                 FaultStage::AwaitDiffs { .. } => {
                     let st = &self.nodes_st[p].pages[page.0 as usize];
@@ -392,6 +409,47 @@ impl SvmAgent {
                     self.recovery.refetch.push((NodeId(p as u16), f.page));
                 }
             }
+        }
+        // Homeless protocols have no home to fail over, but the validator
+        // seat (the guaranteed-copy node GC preserves) may have died:
+        // re-elect the survivor whose copy has applied most of the dead
+        // node's intervals, so re-driven and future cold fetches have a
+        // base copy to start from. No surviving copy at all means the page
+        // data is gone for every node that would ever fault on it.
+        if self.homeless() {
+            for pg in 0..self.num_pages {
+                if self.dir[pg as usize].validator != dead {
+                    continue;
+                }
+                let mut best: Option<(u32, NodeId)> = None;
+                for c in 0..self.cfg.nodes {
+                    if !self.recovery.alive[c] || self.nodes_st[c].pages[pg as usize].buf.is_none()
+                    {
+                        continue;
+                    }
+                    let score = self.nodes_st[c].pages[pg as usize].applied.get(dead);
+                    if best.is_none_or(|(s, _)| score > s) {
+                        best = Some((score, NodeId(c as u16)));
+                    }
+                }
+                match best {
+                    Some((_, c)) => {
+                        self.dir[pg as usize].validator = c;
+                        self.recovery.stats.rehomed_pages += 1;
+                    }
+                    None => {
+                        self.protocol_error(
+                            ctx,
+                            ProtocolError::UnrecoverablePage {
+                                node: dead,
+                                page: PageNum(pg),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            return;
         }
         // Harvested in-flight flushes by page, for the coverage simulation.
         let mut harvest: BTreeMap<u32, Vec<(NodeId, u32)>> = BTreeMap::new();
@@ -535,16 +593,75 @@ impl SvmAgent {
         for l in locks {
             self.repair_lock(ctx, n, l, dead);
         }
-        // 4. This node's own fetch orphaned by the dead home: re-drive it
-        //    against the re-elected home (the version gate holds it until
-        //    the harvested diffs have landed).
+        // 4. This node's own fetch orphaned by the dead home/validator:
+        //    re-drive it against the re-elected seat (the home's version
+        //    gate, or homeless diff collection, takes it from there).
         let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.refetch)
             .into_iter()
             .partition(|&(node, _)| node == n);
         self.recovery.refetch = rest;
         for (_, page) in mine {
             self.recovery.stats.refetches += 1;
-            self.start_home_fetch(ctx, n, page);
+            if self.homeless() {
+                self.start_lrc_fetch(ctx, n, page);
+            } else {
+                self.start_home_fetch(ctx, n, page);
+            }
+        }
+        // 5. Fetches parked at this node's home seats whose version
+        //    requirements can now never be met: every harvested in-flight
+        //    flush has landed (step 1), so an unmet requirement naming the
+        //    dead writer is a diff that no longer exists anywhere.
+        self.check_home_waits(ctx, n);
+    }
+
+    /// Scan the fetches parked at `h`'s home seats (and `h`'s own stalled
+    /// local access) for version requirements that name a declared-dead
+    /// writer's un-flushed interval: those diffs died with the writer, so
+    /// the wait would be forever. Honest graceful degradation is a
+    /// structured error, not a hang.
+    pub(crate) fn check_home_waits(&mut self, ctx: &mut MCtx<'_>, h: NodeId) {
+        if self.homeless() {
+            return;
+        }
+        let mut err = None;
+        'pages: for pg in 0..self.num_pages {
+            if self.dir[pg as usize].home != Some(h) {
+                continue;
+            }
+            let st = &self.nodes_st[h.index()].pages[pg as usize];
+            let flush_pending = |w: NodeId, applied: u32| {
+                self.recovery
+                    .pending_flushes
+                    .iter()
+                    .any(|&(p2, w2, i2, _)| p2.0 == pg && w2 == w && i2 > applied)
+            };
+            let locals = (st.home_stale && st.local_waiter)
+                .then(|| st.seen.to_vec())
+                .into_iter()
+                .map(|need| (h, need));
+            let waits = st
+                .waiting_fetches
+                .iter()
+                .map(|(req, need)| (*req, need.clone()));
+            for (who, need) in waits.chain(locals) {
+                for &(w, i) in &need {
+                    if i > st.applied.get(w)
+                        && !self.recovery.alive[w.index()]
+                        && !flush_pending(w, st.applied.get(w))
+                    {
+                        err = Some(ProtocolError::UnrecoverableDiffs {
+                            node: who,
+                            page: PageNum(pg),
+                            writer: w,
+                        });
+                        break 'pages;
+                    }
+                }
+            }
+        }
+        if let Some(e) = err {
+            self.protocol_error(ctx, e);
         }
     }
 
@@ -554,9 +671,10 @@ impl SvmAgent {
     /// it — regenerate the token for the first orphaned acquirer with a
     /// freshly selected write-notice set.
     fn repair_lock(&mut self, ctx: &mut MCtx<'_>, m: NodeId, l: u32, dead: NodeId) {
-        // The dead node's own queue joins the orphans; its state is frozen
-        // out so it can never grant again.
-        let (dead_token, mut orphans) = match self.nodes_st[dead.index()].locks.get_mut(&l) {
+        // The dead node's own queue is its segment of the grant chain (the
+        // successors that would have received the token from it); its state
+        // is frozen out so it can never grant again.
+        let (dead_token, mut succ) = match self.nodes_st[dead.index()].locks.get_mut(&l) {
             Some(st) => {
                 let t = st.token;
                 st.token = TokenState::Absent;
@@ -566,8 +684,10 @@ impl SvmAgent {
             }
             None => (TokenState::Absent, Vec::new()),
         };
+        succ.retain(|(w, _)| self.recovery.alive[w.index()]);
         // Scrub dead from live queues, remembering which holder had it
-        // queued (that holder is the real end of the surviving chain).
+        // queued (that holder is the dead node's chain predecessor, where
+        // the dead node's own segment must re-attach).
         let mut queued_at: Option<NodeId> = None;
         for p in 0..self.cfg.nodes {
             if p == dead.index() || !self.recovery.alive[p] {
@@ -582,15 +702,17 @@ impl SvmAgent {
                 }
             }
         }
-        // Acquires harvested from the dead node's inbound channels.
+        // Acquires harvested from the dead node's inbound channels: requests
+        // the dead node provably never processed, so they sit in no queue.
         let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.recovery.orphaned_acquires)
             .into_iter()
             .partition(|&(lk, ..)| lk == l);
         self.recovery.orphaned_acquires = rest;
-        orphans.extend(mine.into_iter().map(|(_, w, vt)| (w, vt)));
-        orphans.retain(|(w, _)| self.recovery.alive[w.index()]);
-        let mut seen_nodes = BTreeSet::new();
-        orphans.retain(|(w, _)| seen_nodes.insert(w.0));
+        let mut reenter: Vec<(NodeId, VectorTime)> =
+            mine.into_iter().map(|(_, w, vt)| (w, vt)).collect();
+        reenter.retain(|(w, _)| self.recovery.alive[w.index()]);
+        let mut seen_nodes: BTreeSet<u16> = succ.iter().map(|(w, _)| w.0).collect();
+        reenter.retain(|(w, _)| seen_nodes.insert(w.0));
 
         let live_holder = (0..self.cfg.nodes)
             .filter(|&p| self.recovery.alive[p])
@@ -601,24 +723,68 @@ impl SvmAgent {
                     .is_some_and(|s| s.token != TokenState::Absent)
             })
             .map(|p| NodeId(p as u16));
-        let lost_grant_vt = self.recovery.lost_grants.remove(&l);
+        let lost_grant = self.recovery.lost_grants.remove(&l);
+        // The lost grant's records may exist nowhere else (they were
+        // selected from the granter's log, and the granter may be the node
+        // that just died): fold them into the manager's forwarding log so
+        // the records-union below — and every later grant — can still
+        // forward them.
+        if let Some((_, records)) = &lost_grant {
+            for r in records {
+                let key = (r.writer.0, r.interval);
+                if let Entry::Vacant(e) = self.nodes_st[m.index()].log.entry(key) {
+                    e.insert(r.clone());
+                    self.counters[m.index()].mem.notices(r.bytes() as i64);
+                }
+            }
+        }
         let token_lost =
-            live_holder.is_none() && (dead_token != TokenState::Absent || lost_grant_vt.is_some());
+            live_holder.is_none() && (dead_token != TokenState::Absent || lost_grant.is_some());
+        // Where a request whose predecessor died re-attaches: the chain
+        // predecessor if a live queue held the dead node, else the holder,
+        // else the manager seat.
+        let reattach = queued_at.or(live_holder).unwrap_or(m);
 
         if !token_lost {
-            // Token is safe with (or in flight between) survivors; just fix
-            // a chain tail that pointed at the dead node and re-enter the
-            // lost acquires through the normal manager path.
+            // The token is safe with (or in flight between) survivors, but
+            // the chain is severed where the dead node sat: its successors
+            // would have received the token *from it*. Splice its segment
+            // into the predecessor's queue so the token still reaches them
+            // (a waiter entry is granted at the predecessor's release, which
+            // is exactly when the dead node would have been granted).
+            if let Some(pred) = queued_at {
+                let st = self.nodes_st[pred.index()].lock(l);
+                st.waiters.extend(succ);
+            } else {
+                // The pointer *to* the dead node was still in flight (or at
+                // the manager tail): its segment has no live predecessor
+                // queue, so its members re-enter through the manager.
+                let mut v = std::mem::take(&mut reenter);
+                reenter = succ;
+                reenter.append(&mut v);
+            }
+            for (w, vt) in reenter {
+                // A re-entered requester may already be the recorded tail —
+                // its forward died in the dead node's inbox *after* the
+                // manager advanced the tail. Re-point the tail at the
+                // surviving chain first, or the forward would name the
+                // requester as its own predecessor.
+                // INVARIANT: repair iterates lock_mgr's own keys.
+                let entry = self.lock_mgr.get_mut(&l).expect("repair of unknown lock");
+                if entry.tail == dead || entry.tail == w {
+                    entry.tail = reattach;
+                }
+                self.mgr_lock_request(ctx, m, LockId(l), w, vt);
+            }
             // INVARIANT: repair iterates lock_mgr's own keys.
             let entry = self.lock_mgr.get_mut(&l).expect("repair of unknown lock");
             if entry.tail == dead {
-                entry.tail = queued_at.or(live_holder).unwrap_or(m);
-            }
-            for (w, vt) in orphans {
-                self.mgr_lock_request(ctx, m, LockId(l), w, vt);
+                entry.tail = reattach;
             }
             return;
         }
+        let mut orphans = succ;
+        orphans.append(&mut reenter);
 
         // The token died with the dead node: regenerate it.
         self.recovery.stats.revoked_grants += 1;
@@ -634,17 +800,69 @@ impl SvmAgent {
             self.nodes_st[dead.index()].vt.clone()
         } else {
             // INVARIANT: token_lost without a held token implies a harvested grant.
-            lost_grant_vt.expect("token lost without a harvested grant")
+            lost_grant.expect("token lost without a harvested grant").0
         };
         match orphans.split_first() {
             None => {
-                // Nobody is waiting: the token reseats at the manager.
+                // Nobody is waiting: the token reseats at the manager. From
+                // here on, grants select records from the manager's own log,
+                // so (a) every interval the token's vector time claims for a
+                // dead writer must be recorded *somewhere* among the
+                // survivors — else the next holder could never be told which
+                // pages to invalidate and would read stale silently — and
+                // (b) the surviving union past the weakest live vector time
+                // must fold into the manager's log so those grants can
+                // actually forward it.
+                let mut floor = VectorTime::zero(self.cfg.nodes);
+                for w in 0..self.cfg.nodes {
+                    let wid = NodeId(w as u16);
+                    let min = (0..self.cfg.nodes)
+                        .filter(|&p| self.recovery.alive[p])
+                        .map(|p| self.nodes_st[p].vt.get(wid))
+                        .min()
+                        .unwrap_or(0);
+                    floor.set(wid, min);
+                }
+                if let Some((w, j)) = self.missing_record_past(&floor, &token_vt) {
+                    self.protocol_error(
+                        ctx,
+                        ProtocolError::LostInterval {
+                            lock: l,
+                            writer: w,
+                            interval: j,
+                        },
+                    );
+                    return;
+                }
+                for r in self.records_union_for(&floor) {
+                    let key = (r.writer.0, r.interval);
+                    if let Entry::Vacant(e) = self.nodes_st[m.index()].log.entry(key) {
+                        self.counters[m.index()].mem.notices(r.bytes() as i64);
+                        e.insert(r);
+                    }
+                }
                 self.nodes_st[m.index()].lock(l).token = TokenState::HeldFree;
                 // INVARIANT: repair iterates lock_mgr's own keys.
                 self.lock_mgr.get_mut(&l).expect("repair").tail = m;
             }
             Some((first, others)) => {
                 let (first, first_vt) = first.clone();
+                // The regenerated grant's vector time claims the dead
+                // holder's completed intervals; if one of them is recorded
+                // nowhere among the survivors, the records-union below
+                // cannot carry its write notices and the new holder would
+                // read stale silently. Fail loudly instead.
+                if let Some((w, j)) = self.missing_record_past(&first_vt, &token_vt) {
+                    self.protocol_error(
+                        ctx,
+                        ProtocolError::LostInterval {
+                            lock: l,
+                            writer: w,
+                            interval: j,
+                        },
+                    );
+                    return;
+                }
                 // INVARIANT: repair iterates lock_mgr's own keys.
                 self.lock_mgr.get_mut(&l).expect("repair").tail = first;
                 let mut records = self.records_union_for(&first_vt);
@@ -669,6 +887,36 @@ impl SvmAgent {
     /// every record past the requester's vector time. A superset of what
     /// the dead holder would have selected is safe — record processing is
     /// idempotent per `(writer, interval)`.
+    /// The first dead-writer interval past `base` that `token_vt` claims
+    /// but no survivor can substantiate: the record is in no live
+    /// forwarding log and not in the barrier archive. Write-free critical
+    /// sections bump no interval, so every claimed interval had a record —
+    /// a missing one means write notices died with their writer. `None` =
+    /// every claimed interval can still be forwarded.
+    fn missing_record_past(
+        &self,
+        base: &VectorTime,
+        token_vt: &VectorTime,
+    ) -> Option<(NodeId, u32)> {
+        for w in 0..self.cfg.nodes {
+            if self.recovery.alive[w] {
+                continue;
+            }
+            let wid = NodeId(w as u16);
+            for j in base.get(wid) + 1..=token_vt.get(wid) {
+                let key = (wid.0, j);
+                let held = self.barrier.archive.contains_key(&key)
+                    || (0..self.cfg.nodes)
+                        .filter(|&p| self.recovery.alive[p])
+                        .any(|p| self.nodes_st[p].log.contains_key(&key));
+                if !held {
+                    return Some((wid, j));
+                }
+            }
+        }
+        None
+    }
+
     fn records_union_for(&self, peer_vt: &VectorTime) -> Vec<Rc<IntervalRec>> {
         let mut out: BTreeMap<(u16, u32), Rc<IntervalRec>> = BTreeMap::new();
         for p in 0..self.cfg.nodes {

@@ -35,6 +35,7 @@ use svm_sim::{EventId, SimDuration};
 
 use crate::config::FaultProfile;
 use crate::msg::SvmMsg;
+use crate::protocol::tokens::TimerTokens;
 use crate::protocol::{MCtx, ProtocolError, SvmAgent};
 
 /// The on-wire envelope around protocol messages.
@@ -97,59 +98,20 @@ pub struct RetransmitEvent {
 
 pub(crate) struct SendChannel {
     pub(crate) to: ProcAddr,
-    next_seq: u32,
+    pub(crate) next_seq: u32,
     pub(crate) unacked: BTreeMap<u32, SvmMsg>,
     /// The armed retransmit timer, if any: its scheduler event (for
     /// cancellation) and its token in [`TimerTokens`].
     pub(crate) armed: Option<(EventId, u64)>,
-    backoff: u32,
+    pub(crate) backoff: u32,
     /// Retransmit timeouts fired since the last ack progress; compared
     /// against [`ReliableNet::max_retries`].
-    attempts: u32,
+    pub(crate) attempts: u32,
 }
 
-/// Live retransmit-timer tokens, allocated from one 64-bit counter.
-///
-/// The previous scheme packed `channel | generation << 32` into the timer
-/// token: the channel index truncated to 32 bits and the generation
-/// wrapped at `u32::MAX`, so a stale queued timer could collide with a
-/// live generation one full wrap later and trigger a spurious
-/// retransmission burst. Tokens are now never reused — a token is live iff
-/// it is in `live`, so staleness is structural: a cancelled or superseded
-/// timer's token simply no longer resolves (see the wrap regression test).
-#[derive(Default)]
-pub(crate) struct TimerTokens {
-    next: u64,
-    live: BTreeMap<u64, usize>,
-}
-
-impl TimerTokens {
-    /// Allocate a fresh token for `chan`'s timer.
-    fn arm(&mut self, chan: usize) -> u64 {
-        let token = self.next;
-        // INVARIANT: a simulation would need 2^64 timer arms to exhaust the
-        // token space; that is unreachable in any run, so overflow here is
-        // internal-state corruption, not an input condition.
-        let next = self.next.checked_add(1);
-        self.next = next.expect("retransmit timer token space exhausted");
-        self.live.insert(token, chan);
-        token
-    }
-
-    /// Kill a token; returns whether it was live.
-    pub(crate) fn disarm(&mut self, token: u64) -> bool {
-        self.live.remove(&token).is_some()
-    }
-
-    /// The channel a live token belongs to (`None` = stale).
-    fn resolve(&self, token: u64) -> Option<usize> {
-        self.live.get(&token).copied()
-    }
-}
-
-struct RecvChannel {
-    next_expected: u32,
-    buffered: BTreeMap<u32, SvmMsg>,
+pub(crate) struct RecvChannel {
+    pub(crate) next_expected: u32,
+    pub(crate) buffered: BTreeMap<u32, SvmMsg>,
 }
 
 impl Default for RecvChannel {
@@ -177,7 +139,7 @@ pub struct ReliableNet {
     /// Send channels, indexed densely so timer tokens can address them.
     pub(crate) chans: Vec<SendChannel>,
     pub(crate) index: BTreeMap<(ProcAddr, ProcAddr), usize>,
-    recv: BTreeMap<(ProcAddr, ProcAddr), RecvChannel>,
+    pub(crate) recv: BTreeMap<(ProcAddr, ProcAddr), RecvChannel>,
     pub(crate) tokens: TimerTokens,
     /// Every retransmission, in event order.
     pub trace: Vec<RetransmitEvent>,
@@ -434,54 +396,6 @@ mod tests {
         assert_eq!(wire.wire_bytes(), bytes + 8);
         assert_eq!(Wire::Ack { cum: 3 }.wire_bytes(), 12);
         assert_eq!(Wire::Ack { cum: 3 }.class(), TrafficClass::Protocol);
-    }
-
-    /// Regression for the old `channel | gen << 32` token packing: drive
-    /// the allocator across the boundary where the 32-bit generation used
-    /// to wrap and verify a stale token can never be mistaken for a live
-    /// one — staleness is structural (absent from the live map), not a
-    /// modular counter comparison.
-    #[test]
-    fn stale_tokens_stay_dead_across_the_old_gen_wrap_boundary() {
-        // Start just below where the old u32 generation wrapped to 0.
-        let mut t = TimerTokens {
-            next: u32::MAX as u64 - 2,
-            ..TimerTokens::default()
-        };
-        let stale = t.arm(5);
-        assert_eq!(t.resolve(stale), Some(5));
-        assert!(t.disarm(stale), "live token disarms once");
-
-        // Arm/disarm the same channel through and past the wrap boundary
-        // (old scheme: gen would revisit the stale token's value here).
-        let mut seen = vec![stale];
-        for _ in 0..6 {
-            let tok = t.arm(5);
-            assert!(!seen.contains(&tok), "tokens are never reused");
-            seen.push(tok);
-            assert!(t.disarm(tok));
-        }
-        assert!(t.next > u32::MAX as u64 + 3, "crossed the old wrap point");
-        assert_eq!(t.resolve(stale), None, "stale token must stay dead");
-        assert!(!t.disarm(stale), "double-disarm is a no-op");
-    }
-
-    /// Channel indices are not truncated: tokens resolve to the exact
-    /// channel they were armed for, independent of how many channels or
-    /// arms came before.
-    #[test]
-    fn tokens_resolve_to_their_own_channel() {
-        let mut t = TimerTokens::default();
-        let a = t.arm(0);
-        let b = t.arm(71);
-        let c = t.arm(usize::MAX >> 1);
-        assert_eq!(t.resolve(a), Some(0));
-        assert_eq!(t.resolve(b), Some(71));
-        assert_eq!(t.resolve(c), Some(usize::MAX >> 1));
-        t.disarm(b);
-        assert_eq!(t.resolve(a), Some(0));
-        assert_eq!(t.resolve(b), None);
-        assert_eq!(t.resolve(c), Some(usize::MAX >> 1));
     }
 
     #[test]

@@ -133,6 +133,12 @@ impl SvmAgent {
     ) {
         let overhead = ctx.cost().handler_overhead;
         ctx.work(overhead, Category::Protocol);
+        if !self.recovery.alive[requester.index()] {
+            // A stale forward naming a declared-dead requester: lock repair
+            // already re-routed that node's chain segment, so queueing it
+            // here would send the token into the grave. Drop it.
+            return;
+        }
         match self.nodes_st[h.index()].lock(l.0).token {
             TokenState::InCs => {
                 self.nodes_st[h.index()]

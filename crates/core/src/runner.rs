@@ -180,16 +180,21 @@ impl RunReport {
     }
 }
 
-/// Run `body` on every node of a fresh machine under `config`.
-///
-/// `setup` allocates and initializes the shared data and returns the layout
-/// (plain data cloned to every node); `body` is the per-node program.
-///
-/// # Panics
-///
-/// Panics if the application panics on any node or the protocol deadlocks
-/// (with diagnostics from the machine layer).
-pub fn run<L, S, B>(config: &SvmConfig, setup: S, body: B) -> RunReport
+/// A fully wired [`World`] plus the run-independent facts `run`-style
+/// drivers need afterwards (the explorer reuses the exact same wiring via
+/// [`build_world`], so what it checks is the shipped construction path).
+pub(crate) struct BuiltWorld {
+    pub(crate) world: World<SvmAgent>,
+    pub(crate) geometry: Geometry,
+    pub(crate) num_pages: u32,
+    pub(crate) app_bytes: u64,
+    /// Post-initialization image (`Some` iff `config.trace.record`).
+    pub(crate) initial: Option<Vec<u8>>,
+}
+
+/// Allocate, initialize, and wire a machine for `config`: the shared build
+/// phase of [`run`] and the explorer's controlled runs.
+pub(crate) fn build_world<L, S, B>(config: &SvmConfig, setup: S, body: B) -> BuiltWorld
 where
     L: Clone + Send + 'static,
     S: FnOnce(&mut Setup) -> L,
@@ -245,7 +250,63 @@ where
         })
         .collect();
 
-    let mut world = World::new(config.cost.clone(), agent, bodies);
+    BuiltWorld {
+        world: World::new(config.cost.clone(), agent, bodies),
+        geometry,
+        num_pages,
+        app_bytes: heap.allocated_bytes(),
+        initial,
+    }
+}
+
+/// Collect the recorded trace out of a finished agent. The machine has shut
+/// down (or, for the explorer, is quiescent with every application thread
+/// gone), so the recorder handles are exclusive.
+pub(crate) fn collect_trace(
+    agent: &mut SvmAgent,
+    nodes: usize,
+    geometry: Geometry,
+    num_pages: u32,
+    initial: Option<Vec<u8>>,
+) -> Option<AccessTrace> {
+    agent.recorders.take().map(|recs| AccessTrace {
+        nodes,
+        page_size: geometry.page_size(),
+        num_pages,
+        initial: initial.expect("initial image kept when recording"),
+        events: recs
+            .iter()
+            .map(|cell| {
+                // SAFETY: the run is over; no other reference exists.
+                unsafe { cell.get_mut() }.finish()
+            })
+            .collect(),
+    })
+}
+
+/// Run `body` on every node of a fresh machine under `config`.
+///
+/// `setup` allocates and initializes the shared data and returns the layout
+/// (plain data cloned to every node); `body` is the per-node program.
+///
+/// # Panics
+///
+/// Panics if the application panics on any node or the protocol deadlocks
+/// (with diagnostics from the machine layer).
+pub fn run<L, S, B>(config: &SvmConfig, setup: S, body: B) -> RunReport
+where
+    L: Clone + Send + 'static,
+    S: FnOnce(&mut Setup) -> L,
+    B: Fn(&SvmCtx<'_>, &L) + Send + Sync + 'static,
+{
+    let nodes = config.nodes;
+    let BuiltWorld {
+        mut world,
+        geometry,
+        num_pages,
+        app_bytes,
+        initial,
+    } = build_world(config, setup, body);
     world.machine.set_faults(svm_machine::NetFaultConfig {
         seed: config.fault.seed,
         drop_rate: config.fault.drop_rate,
@@ -276,21 +337,7 @@ where
         }
     }
 
-    // Collect the recorded trace: the machine has shut down, so every
-    // application thread is gone and the recorder handles are exclusive.
-    let trace = agent.recorders.take().map(|recs| AccessTrace {
-        nodes,
-        page_size: geometry.page_size(),
-        num_pages,
-        initial: initial.expect("initial image kept when recording"),
-        events: recs
-            .iter()
-            .map(|cell| {
-                // SAFETY: the run is over; no other reference exists.
-                unsafe { cell.get_mut() }.finish()
-            })
-            .collect(),
-    });
+    let trace = collect_trace(&mut agent, nodes, geometry, num_pages, initial);
 
     RunReport {
         protocol: config.protocol,
@@ -300,7 +347,7 @@ where
             nodes: agent.counters,
             barrier_marks: agent.barrier_marks,
         },
-        app_bytes: heap.allocated_bytes(),
+        app_bytes,
         num_pages,
         errors: std::mem::take(&mut agent.errors),
         retransmit_trace: std::mem::take(&mut agent.net.trace),

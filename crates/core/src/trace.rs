@@ -194,6 +194,86 @@ impl TraceEvent {
         !matches!(self, TraceEvent::Read { .. } | TraceEvent::Write { .. })
     }
 
+    /// Fold the event into a running FNV-1a digest, excluding the virtual
+    /// time stamps (`at`). The explorer's canonical state hash must equate
+    /// states that differ only in *when* things happened, never in *what*
+    /// the application observed — so every content field is hashed and
+    /// every `SimTime` is dropped.
+    pub fn fold_digest(&self, h: u64) -> u64 {
+        let mut h = h;
+        let word = |h: u64, v: u64| fnv1a64(h, &v.to_le_bytes());
+        match self {
+            TraceEvent::Read {
+                page,
+                off,
+                len,
+                digest,
+            } => {
+                h = word(h, 1);
+                h = word(h, *page as u64);
+                h = word(h, *off as u64);
+                h = word(h, *len as u64);
+                h = word(h, *digest);
+            }
+            TraceEvent::Write { page, runs } => {
+                h = word(h, 2);
+                h = word(h, *page as u64);
+                h = word(h, runs.len() as u64);
+                for (off, bytes) in runs {
+                    h = word(h, *off as u64);
+                    h = word(h, bytes.len() as u64);
+                    h = fnv1a64(h, bytes);
+                }
+            }
+            TraceEvent::Acquire { lock, seq, vt, .. } => {
+                h = word(h, 3);
+                h = word(h, *lock as u64);
+                h = word(h, *seq);
+                h = vt.fold_digest(h);
+            }
+            TraceEvent::Release { lock, seq, vt, .. } => {
+                h = word(h, 4);
+                h = word(h, *lock as u64);
+                h = word(h, *seq);
+                h = vt.fold_digest(h);
+            }
+            TraceEvent::BarrierEnter {
+                barrier, round, vt, ..
+            } => {
+                h = word(h, 5);
+                h = word(h, *barrier as u64);
+                h = word(h, *round);
+                h = vt.fold_digest(h);
+            }
+            TraceEvent::BarrierLeave {
+                barrier, round, vt, ..
+            } => {
+                h = word(h, 6);
+                h = word(h, *barrier as u64);
+                h = word(h, *round);
+                h = vt.fold_digest(h);
+            }
+            TraceEvent::IntervalEnd {
+                interval,
+                vt,
+                pages,
+                ..
+            } => {
+                h = word(h, 7);
+                h = word(h, *interval as u64);
+                h = vt.fold_digest(h);
+                h = word(h, pages.len() as u64);
+                for p in pages {
+                    h = word(h, *p as u64);
+                }
+            }
+            TraceEvent::Crash { .. } => {
+                h = word(h, 8);
+            }
+        }
+        h
+    }
+
     /// Approximate heap footprint, bytes (for the trace-size bound).
     pub fn approx_bytes(&self) -> usize {
         let payload = match self {
@@ -411,6 +491,30 @@ impl NodeRecorder {
     pub fn finish(&mut self) -> Vec<TraceEvent> {
         self.flush_all();
         std::mem::take(&mut self.events)
+    }
+
+    /// Time-erased digest of everything recorded so far: the flushed event
+    /// stream in order, the pending (unflushed) per-page write runs, and
+    /// the barrier-round counter. This is the application-observation
+    /// component of the explorer's canonical state hash: two explore states
+    /// with equal recorder digests have shown their applications identical
+    /// data and synchronization histories.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a64(FNV_BASIS, &(self.events.len() as u64).to_le_bytes());
+        for e in &self.events {
+            h = e.fold_digest(h);
+        }
+        h = fnv1a64(h, &(self.pending.len() as u64).to_le_bytes());
+        for (page, runs) in &self.pending {
+            h = fnv1a64(h, &(*page as u64).to_le_bytes());
+            h = fnv1a64(h, &(runs.len() as u64).to_le_bytes());
+            for (off, bytes) in runs {
+                h = fnv1a64(h, &(*off as u64).to_le_bytes());
+                h = fnv1a64(h, &(bytes.len() as u64).to_le_bytes());
+                h = fnv1a64(h, bytes);
+            }
+        }
+        fnv1a64(h, &self.rounds.to_le_bytes())
     }
 }
 

@@ -1,0 +1,627 @@
+//! The DFS engine: exhaustive exploration over scheduler choices.
+//!
+//! Applications run on real OS threads, so a quiescent machine state
+//! cannot be checkpointed — the engine instead keeps a persistent stack of
+//! choice frames across *runs* and restarts the program from scratch once
+//! per backtrack, replaying the recorded prefix (cheap: no digesting, no
+//! invariant checks) and then resuming fresh exploration at the frontier.
+//! Within a single run the DFS descends freely, so the number of full
+//! replays equals the number of backtracks, not the number of states.
+//!
+//! Soundness of the two reductions (argued in DESIGN.md §16):
+//!
+//! * **Visited-set pruning** — the canonical digest
+//!   ([`svm_core::state_digest`]) is time-erased and covers every bit of
+//!   state that can influence future behavior, so digest equality implies
+//!   identical reachable futures: a revisited state explores nothing new.
+//! * **Sleep sets** (Godefroid) — a delivery's handler runs entirely at
+//!   its destination node, and cross-destination handler effects commute
+//!   (manager structures are only mutated by their manager node's
+//!   handlers; channels are keyed by endpoint pair), so two deliveries to
+//!   different nodes are independent. Crash actions are dependent with
+//!   everything, and a configured seeded mutation makes *all* actions
+//!   dependent (its trigger counter is global, so firing order matters).
+//!   Revisits are pruned only when a stored sleep set is a subset of the
+//!   current one — arriving with strictly fewer sleeping actions
+//!   re-explores the state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use svm_core::{
+    crash_key, detect_key, enabled_deliveries, invariant_violations, live_nodes, pending_detects,
+    state_digest, terminal_violations, ExploreRun, ProtocolError, SvmAgent, SvmConfig,
+};
+use svm_machine::{AppPhase, ExploreStep, World};
+
+use crate::program::{run_program, Program};
+use crate::schedule::{apply_action, Action};
+
+/// Sleep-set variants stored per visited digest before the engine falls
+/// back to a single full (empty-sleep) exploration of that state.
+const SLEEP_VARIANTS_CAP: usize = 4;
+
+/// Exploration knobs.
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Sleep-set partial-order reduction (prunes redundant transition
+    /// orders; the visited *state* set is unchanged).
+    pub sleep_sets: bool,
+    /// Crash actions the engine may inject along one path (only offered
+    /// under recovery configurations, and only while ≥ 2 nodes live).
+    pub max_crashes: usize,
+    /// Distinct-state budget: exceeding it is an [`ExploreReport::error`].
+    pub max_states: usize,
+    /// Schedule-depth budget, same contract.
+    pub max_depth: usize,
+    /// Shrink a found counterexample by greedy action deletion.
+    pub minimize: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            sleep_sets: true,
+            max_crashes: 0,
+            max_states: 2_000_000,
+            max_depth: 4_096,
+            minimize: true,
+        }
+    }
+}
+
+/// A violated property plus the schedule that reaches the violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The decision sequence from the initial state to the violation.
+    pub schedule: Vec<Action>,
+    /// The violated invariants / checker verdicts, human-readable.
+    pub what: Vec<String>,
+}
+
+/// What one exploration covered.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Distinct canonical states visited.
+    pub states: usize,
+    /// Transitions explored (unique `(state, action)` decisions).
+    pub transitions: u64,
+    /// Full program runs (1 + number of backtracks).
+    pub replays: u64,
+    /// Violation-free terminal states reached.
+    pub terminals: u64,
+    /// Longest schedule explored.
+    pub peak_depth: usize,
+    /// First violation found, if any (exploration stops at the first).
+    pub counterexample: Option<Counterexample>,
+    /// The visited canonical digests (for reduction cross-checks).
+    pub visited: BTreeSet<u64>,
+    /// Budget exhaustion — `Some` means the exploration is *incomplete*,
+    /// which is an answer of "don't know", never silently "clean".
+    pub error: Option<String>,
+}
+
+impl ExploreReport {
+    /// Fully explored and violation-free.
+    pub fn clean(&self) -> bool {
+        self.counterexample.is_none() && self.error.is_none()
+    }
+}
+
+/// An exhaustive exploration of one `(config, program)` pair.
+pub struct Explorer {
+    /// The bounded configuration (see [`crate::program::base_config`]).
+    pub config: SvmConfig,
+    /// The workload.
+    pub program: Program,
+    /// Engine knobs.
+    pub opts: ExploreOptions,
+}
+
+struct Frame {
+    actions: Vec<Action>,
+    keys: Vec<u64>,
+    chosen: usize,
+    sleep: BTreeSet<u64>,
+    explored: BTreeSet<u64>,
+}
+
+struct Engine {
+    opts: ExploreOptions,
+    /// Everything is dependent (seeded mutation: global trigger counter).
+    all_dependent: bool,
+    stack: Vec<Frame>,
+    path: Vec<Action>,
+    /// Sleep set the *next* frontier state inherits from its parent.
+    next_sleep: BTreeSet<u64>,
+    /// Action key → destination node (`None` = crash: dependent with all).
+    key_dest: BTreeMap<u64, Option<u16>>,
+    /// Canonical digest → sleep sets it was explored under.
+    visited: BTreeMap<u64, Vec<BTreeSet<u64>>>,
+    transitions: u64,
+    replays: u64,
+    terminals: u64,
+    peak_depth: usize,
+    /// Replay cursor within the current run.
+    depth: usize,
+    /// Current run ended at a terminal (no enabled actions) state.
+    terminal: bool,
+    counterexample: Option<Counterexample>,
+    error: Option<String>,
+}
+
+fn action_dest(a: Action) -> Option<u16> {
+    match a {
+        Action::Deliver { to, .. } => Some(to.node.0),
+        Action::Crash(_) | Action::Detect(_) => None,
+    }
+}
+
+/// The errors a halted run demonstrates, with *honest degradation*
+/// filtered out: when the explored path crash-stopped a node, graceful
+/// recovery is documented to end the run with a structured error for
+/// dependencies only the dead node could satisfy (its sole page copy, its
+/// homeless diff store, its reachability). Those are correct declared
+/// outcomes, not violations — the safety properties (no lost
+/// release-protected write, coherence) are still enforced by the per-state
+/// invariants and the trace checker on the paths that *do* survive.
+fn effective_errors(run: &ExploreRun, crashed: bool) -> Vec<String> {
+    let benign = |e: &ProtocolError| {
+        crashed
+            && matches!(
+                e,
+                ProtocolError::UnrecoverablePage { .. }
+                    | ProtocolError::UnrecoverableDiffs { .. }
+                    | ProtocolError::LostInterval { .. }
+                    | ProtocolError::PeerUnreachable { .. }
+            )
+    };
+    // A protocol error's machine-level mirror carries the identical
+    // rendered message (`SvmAgent::protocol_error` fails the machine with
+    // `err.to_string()`), which is how the two lists are reconciled.
+    let benign_texts: Vec<String> = run
+        .errors
+        .iter()
+        .filter(|e| benign(e))
+        .map(|e| e.to_string())
+        .collect();
+    let mut out = Vec::new();
+    for e in &run.outcome.errors {
+        if !benign_texts.contains(&e.what) {
+            out.push(format!("machine error: {e}"));
+        }
+    }
+    for e in &run.errors {
+        if !benign(e) {
+            out.push(format!("protocol error: {e:?}"));
+        }
+    }
+    out
+}
+
+impl Engine {
+    fn new(opts: ExploreOptions, all_dependent: bool) -> Self {
+        Engine {
+            opts,
+            all_dependent,
+            stack: Vec::new(),
+            path: Vec::new(),
+            next_sleep: BTreeSet::new(),
+            key_dest: BTreeMap::new(),
+            visited: BTreeMap::new(),
+            transitions: 0,
+            replays: 0,
+            terminals: 0,
+            peak_depth: 0,
+            depth: 0,
+            terminal: false,
+            counterexample: None,
+            error: None,
+        }
+    }
+
+    fn independent(&self, b_dest: Option<u16>, a_dest: Option<u16>) -> bool {
+        if self.all_dependent {
+            return false;
+        }
+        matches!((b_dest, a_dest), (Some(b), Some(a)) if b != a)
+    }
+
+    /// The sleep set a child state inherits when the parent, sleeping on
+    /// `sleep` with `explored` already exhausted, takes `a`: every action
+    /// known-covered at the parent stays covered in the child iff it is
+    /// independent of `a`.
+    fn child_sleep(
+        &self,
+        sleep: &BTreeSet<u64>,
+        explored: &BTreeSet<u64>,
+        a: Action,
+    ) -> BTreeSet<u64> {
+        if !self.opts.sleep_sets {
+            return BTreeSet::new();
+        }
+        let a_dest = action_dest(a);
+        sleep
+            .iter()
+            .chain(explored.iter())
+            .filter(|k| self.independent(self.key_dest.get(k).copied().flatten(), a_dest))
+            .copied()
+            .collect()
+    }
+
+    /// The controller: replay the recorded prefix, then explore.
+    fn step(&mut self, world: &mut World<SvmAgent>) -> ExploreStep {
+        if self.depth < self.path.len() {
+            let a = self.path[self.depth];
+            self.depth += 1;
+            return match apply_action(world, a) {
+                Some(s) => s,
+                None => {
+                    self.error = Some(format!(
+                        "replay diverged at depth {}: `{a}` not applicable",
+                        self.depth - 1
+                    ));
+                    ExploreStep::Stop
+                }
+            };
+        }
+        self.frontier(world)
+    }
+
+    /// Enumerate the enabled actions: first the *progress* actions
+    /// (deliveries and pending detections — the ones whose absence defines
+    /// a terminal state), then the crash injections the budget still
+    /// allows. Returns the actions, their stable keys, and how many of
+    /// them are progress actions.
+    fn enumerate(&mut self, world: &World<SvmAgent>) -> (Vec<Action>, Vec<u64>, usize) {
+        let mut acts = Vec::new();
+        let mut keys = Vec::new();
+        for d in enabled_deliveries(world) {
+            acts.push(Action::Deliver {
+                from: d.from,
+                to: d.to,
+            });
+            keys.push(d.key);
+            self.key_dest.insert(d.key, Some(d.to.node.0));
+        }
+        // Crashed-but-undetected nodes whose outbound backlog has drained:
+        // the detection verdict is its own explored action (it races with
+        // ongoing survivor traffic, but never with the dead node's own
+        // messages — see `Action::Detect`).
+        for n in pending_detects(world) {
+            let k = detect_key(n);
+            acts.push(Action::Detect(n));
+            keys.push(k);
+            self.key_dest.insert(k, None);
+        }
+        let progress = acts.len();
+        let crashed_so_far = self
+            .path
+            .iter()
+            .filter(|a| matches!(a, Action::Crash(_)))
+            .count();
+        if world.agent.cfg.recovery.enabled && crashed_so_far < self.opts.max_crashes {
+            let live = live_nodes(world);
+            if live.len() >= 2 {
+                for n in live {
+                    // A finished node's death exercises nothing: its
+                    // messages are all sent and its state is final.
+                    if world.machine.app_phase(n) == AppPhase::Finished {
+                        continue;
+                    }
+                    let k = crash_key(n);
+                    acts.push(Action::Crash(n));
+                    keys.push(k);
+                    self.key_dest.insert(k, None);
+                }
+            }
+        }
+        (acts, keys, progress)
+    }
+
+    /// One fresh decision at the frontier state.
+    fn frontier(&mut self, world: &mut World<SvmAgent>) -> ExploreStep {
+        let viol = invariant_violations(world);
+        if !viol.is_empty() {
+            self.counterexample = Some(Counterexample {
+                schedule: self.path.clone(),
+                what: viol,
+            });
+            return ExploreStep::Stop;
+        }
+
+        let (actions, keys, progress) = self.enumerate(world);
+        if progress == 0 {
+            // No delivery and no pending detection can fire: the run has
+            // quiesced. Remaining crash *injections* don't count — a state
+            // is not saved from being a deadlock by the option to make
+            // things worse.
+            self.terminal = true;
+            let tv = terminal_violations(world);
+            if !tv.is_empty() {
+                self.counterexample = Some(Counterexample {
+                    schedule: self.path.clone(),
+                    what: tv,
+                });
+            }
+            return ExploreStep::Stop;
+        }
+        if self.path.len() >= self.opts.max_depth {
+            self.error = Some(format!("depth budget {} exhausted", self.opts.max_depth));
+            return ExploreStep::Stop;
+        }
+
+        let digest = state_digest(world);
+        let mut sleep = std::mem::take(&mut self.next_sleep);
+        if let Some(stored) = self.visited.get(&digest) {
+            if stored.iter().any(|s| s.is_subset(&sleep)) {
+                // Already explored here at least everything we would
+                // explore now.
+                return ExploreStep::Stop;
+            }
+            if stored.len() >= SLEEP_VARIANTS_CAP {
+                // Too many sleep variants: explore once with an empty
+                // sleep set (a superset of every exploration), which then
+                // subsumes all future arrivals.
+                sleep = BTreeSet::new();
+            }
+        }
+        {
+            let e = self.visited.entry(digest).or_default();
+            if sleep.is_empty() {
+                e.clear();
+            }
+            e.push(sleep.clone());
+        }
+        if self.visited.len() > self.opts.max_states {
+            self.error = Some(format!("state budget {} exhausted", self.opts.max_states));
+            return ExploreStep::Stop;
+        }
+
+        let mut open_acts = Vec::new();
+        let mut open_keys = Vec::new();
+        for (a, k) in actions.into_iter().zip(keys) {
+            if !sleep.contains(&k) {
+                open_acts.push(a);
+                open_keys.push(k);
+            }
+        }
+        if open_acts.is_empty() {
+            // Every enabled action is asleep: all covered on other paths.
+            return ExploreStep::Stop;
+        }
+
+        let a = open_acts[0];
+        self.next_sleep = self.child_sleep(&sleep, &BTreeSet::new(), a);
+        self.stack.push(Frame {
+            actions: open_acts,
+            keys: open_keys,
+            chosen: 0,
+            sleep,
+            explored: BTreeSet::new(),
+        });
+        self.path.push(a);
+        self.depth = self.path.len();
+        self.peak_depth = self.peak_depth.max(self.path.len());
+        self.transitions += 1;
+        match apply_action(world, a) {
+            Some(s) => s,
+            None => {
+                self.error = Some(format!("enumerated action `{a}` not applicable"));
+                ExploreStep::Stop
+            }
+        }
+    }
+
+    /// Backtrack to the next unexplored sibling. `false` = space exhausted.
+    fn advance(&mut self) -> bool {
+        loop {
+            let Some(f) = self.stack.last_mut() else {
+                return false;
+            };
+            let k = f.keys[f.chosen];
+            f.explored.insert(k);
+            self.path.pop();
+            f.chosen += 1;
+            if f.chosen >= f.actions.len() {
+                self.stack.pop();
+                continue;
+            }
+            let a = f.actions[f.chosen];
+            let (sleep, explored) = (f.sleep.clone(), f.explored.clone());
+            self.next_sleep = self.child_sleep(&sleep, &explored, a);
+            self.path.push(a);
+            self.transitions += 1;
+            return true;
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with default options.
+    pub fn new(config: SvmConfig, program: Program) -> Self {
+        Explorer {
+            config,
+            program,
+            opts: ExploreOptions::default(),
+        }
+    }
+
+    /// Exhaust the state space (or stop at the first violation / budget).
+    pub fn run(&self) -> ExploreReport {
+        let mut eng = Engine::new(self.opts.clone(), self.config.mutation.is_some());
+        loop {
+            eng.replays += 1;
+            eng.depth = 0;
+            eng.terminal = false;
+            let run = run_program(&self.config, self.program, |w| eng.step(w));
+            if eng.error.is_some() {
+                break;
+            }
+            if eng.counterexample.is_none() {
+                let crashed = eng.path.iter().any(|a| matches!(a, Action::Crash(_)));
+                let errs = effective_errors(&run, crashed);
+                if !errs.is_empty() {
+                    eng.counterexample = Some(Counterexample {
+                        schedule: eng.path.clone(),
+                        what: errs,
+                    });
+                }
+            }
+            if eng.counterexample.is_none() && eng.terminal {
+                eng.terminals += 1;
+                let trace = run.trace.expect("explore mode always records");
+                let rep = svm_checker::check_trace(&trace);
+                if !rep.ok() {
+                    eng.counterexample = Some(Counterexample {
+                        schedule: eng.path.clone(),
+                        what: rep
+                            .violations
+                            .iter()
+                            .map(|v| format!("trace: {v:?}"))
+                            .collect(),
+                    });
+                }
+            }
+            if eng.counterexample.is_some() {
+                break;
+            }
+            if !eng.advance() {
+                break;
+            }
+        }
+        let mut counterexample = eng.counterexample.take();
+        if self.opts.minimize {
+            if let Some(c) = &mut counterexample {
+                c.schedule = minimize(&self.config, self.program, &c.schedule);
+            }
+        }
+        ExploreReport {
+            states: eng.visited.len(),
+            transitions: eng.transitions,
+            replays: eng.replays,
+            terminals: eng.terminals,
+            peak_depth: eng.peak_depth,
+            visited: eng.visited.keys().copied().collect(),
+            counterexample,
+            error: eng.error,
+        }
+    }
+}
+
+/// What replaying one fixed schedule produced.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Actions applied before the run stopped.
+    pub applied: usize,
+    /// An action was not applicable (empty channel / dead node): the
+    /// schedule does not describe an execution of this configuration.
+    pub diverged: bool,
+    /// The schedule ran to a state with no enabled actions.
+    pub terminal: bool,
+    /// Violations observed (invariants at any visited state, terminal
+    /// checks, machine/protocol errors, or the trace-checker verdict).
+    pub violations: Vec<String>,
+    /// Canonical digest of the state the replay stopped in (0 if the
+    /// replay diverged before stopping cleanly).
+    pub final_digest: u64,
+}
+
+impl ReplayReport {
+    /// Replayed fully and demonstrated a violation.
+    pub fn violating(&self) -> bool {
+        !self.diverged && !self.violations.is_empty()
+    }
+}
+
+/// Replay `schedule` through the real machine, checking invariants at
+/// every quiescent state and running the trace checker if the replay
+/// reaches a terminal. This is the counterexample-corpus oracle.
+pub fn replay_schedule(cfg: &SvmConfig, program: Program, schedule: &[Action]) -> ReplayReport {
+    struct St {
+        idx: usize,
+        diverged: bool,
+        terminal: bool,
+        violations: Vec<String>,
+        final_digest: u64,
+    }
+    let mut st = St {
+        idx: 0,
+        diverged: false,
+        terminal: false,
+        violations: Vec::new(),
+        final_digest: 0,
+    };
+    let run = run_program(cfg, program, |w| {
+        let viol = invariant_violations(w);
+        if !viol.is_empty() {
+            st.violations = viol;
+            st.final_digest = state_digest(w);
+            return ExploreStep::Stop;
+        }
+        if st.idx >= schedule.len() {
+            st.final_digest = state_digest(w);
+            if enabled_deliveries(w).is_empty() && pending_detects(w).is_empty() {
+                st.terminal = true;
+                st.violations = terminal_violations(w);
+            }
+            return ExploreStep::Stop;
+        }
+        match apply_action(w, schedule[st.idx]) {
+            Some(s) => {
+                st.idx += 1;
+                s
+            }
+            None => {
+                st.diverged = true;
+                ExploreStep::Stop
+            }
+        }
+    });
+    if !st.diverged {
+        if st.violations.is_empty() {
+            let crashed = schedule.iter().any(|a| matches!(a, Action::Crash(_)));
+            st.violations = effective_errors(&run, crashed);
+        }
+        if st.violations.is_empty() && st.terminal {
+            let trace = run.trace.expect("explore mode always records");
+            let rep = svm_checker::check_trace(&trace);
+            if !rep.ok() {
+                st.violations = rep
+                    .violations
+                    .iter()
+                    .map(|v| format!("trace: {v:?}"))
+                    .collect();
+            }
+        }
+    }
+    ReplayReport {
+        applied: st.idx,
+        diverged: st.diverged,
+        terminal: st.terminal,
+        violations: st.violations,
+        final_digest: st.final_digest,
+    }
+}
+
+/// Greedy counterexample minimization: drop one action at a time, keeping
+/// the deletion whenever the shortened schedule still replays fully and
+/// still demonstrates a violation. (The unmutated spaces explore clean, so
+/// under a seeded mutation *any* surviving violation is attributable to
+/// that mutation — the minimum need not preserve the exact message.)
+pub fn minimize(cfg: &SvmConfig, program: Program, schedule: &[Action]) -> Vec<Action> {
+    let mut cur = schedule.to_vec();
+    if !replay_schedule(cfg, program, &cur).violating() {
+        return cur;
+    }
+    let mut i = 0;
+    while i < cur.len() {
+        let mut cand = cur.clone();
+        cand.remove(i);
+        if replay_schedule(cfg, program, &cand).violating() {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}

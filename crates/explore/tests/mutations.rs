@@ -1,0 +1,90 @@
+//! Seeded-mutation cross-check: the explorer must *find* the bugs the
+//! checker's mutation battery plants, and the counterexamples it emits
+//! must replay bit-identically through the real machine and trace
+//! checker. The same bounded configurations explore clean unmutated, so
+//! any violation found under a mutation is attributable to it.
+
+use svm_core::{ProtocolName, SeededBug, SvmConfig};
+use svm_explore::{base_config, replay_schedule, ExploreOptions, Explorer, Program};
+
+fn explore(
+    protocol: ProtocolName,
+    nodes: usize,
+    rounds: u32,
+    recovery: bool,
+    max_crashes: usize,
+    mutation: Option<SeededBug>,
+) -> (SvmConfig, svm_explore::ExploreReport) {
+    let mut cfg = base_config(protocol, nodes, recovery, 256);
+    cfg.mutation = mutation;
+    let mut ex = Explorer::new(cfg.clone(), Program::LockCounter { rounds });
+    ex.opts = ExploreOptions {
+        max_crashes,
+        ..ExploreOptions::default()
+    };
+    let report = ex.run();
+    (cfg, report)
+}
+
+/// Replay `report`'s minimal counterexample through the real machine and
+/// assert it reproduces: every action applies (no divergence) and the
+/// violation is demonstrated again.
+fn assert_replays(cfg: &SvmConfig, rounds: u32, report: &svm_explore::ExploreReport) {
+    let cex = report
+        .counterexample
+        .as_ref()
+        .expect("mutated exploration must find a counterexample");
+    let replay = replay_schedule(cfg, Program::LockCounter { rounds }, &cex.schedule);
+    assert!(
+        !replay.diverged,
+        "minimal schedule diverged after {} of {} actions",
+        replay.applied,
+        cex.schedule.len()
+    );
+    assert!(
+        replay.violating(),
+        "replay demonstrated no violation; explorer saw {:?}",
+        cex.what
+    );
+}
+
+#[test]
+fn skip_diff_apply_is_found_and_replays() {
+    // HLRC, 2 nodes, no crashes: the first skipped diff application leaves
+    // the home copy stale while its applied vector vouches for it.
+    let mutation = Some(SeededBug::SkipDiffApply { nth: 0 });
+    let (cfg, report) = explore(ProtocolName::Hlrc, 2, 1, false, 0, mutation);
+    assert_replays(&cfg, 1, &report);
+}
+
+#[test]
+fn leak_dead_lock_grant_is_found_and_replays() {
+    // Recovery armed, one crash injectable, three nodes: the bug needs a
+    // grant in flight to the dying node that carries records its queued
+    // successor has not seen — with two nodes the regenerated record set
+    // is provably empty (the sole survivor's own vector time covers
+    // everything it could be sent) and there is nothing to leak.
+    let mutation = Some(SeededBug::LeakDeadLockGrant);
+    let (cfg, report) = explore(ProtocolName::Lrc, 3, 1, true, 1, mutation);
+    assert_replays(&cfg, 1, &report);
+}
+
+#[test]
+fn unmutated_twin_configs_explore_clean() {
+    // The exact configurations the mutation tests search must be clean
+    // without the mutation — otherwise a found violation proves nothing.
+    let (_, hlrc) = explore(ProtocolName::Hlrc, 2, 1, false, 0, None);
+    assert!(
+        hlrc.clean(),
+        "cex: {:?} error: {:?}",
+        hlrc.counterexample.map(|c| c.what),
+        hlrc.error
+    );
+    let (_, lrc) = explore(ProtocolName::Lrc, 3, 1, true, 1, None);
+    assert!(
+        lrc.clean(),
+        "cex: {:?} error: {:?}",
+        lrc.counterexample.map(|c| c.what),
+        lrc.error
+    );
+}

@@ -1,0 +1,82 @@
+//! Ad hoc scaling probes (ignored by default; run with `--ignored`).
+//!
+//! These print the state counts and wall-clock numbers recorded in
+//! EXPERIMENTS.md; they assert nothing so they stay useful while the
+//! configuration matrix is being tuned.
+
+use svm_core::ProtocolName;
+use svm_explore::{base_config, ExploreOptions, Explorer, Program};
+use svm_testkit::bench::Stopwatch;
+
+#[test]
+#[ignore]
+fn probe_crash() {
+    for (nodes, rounds) in [(2usize, 1u32), (2, 2), (3, 1)] {
+        for p in ProtocolName::ALL {
+            let cfg = base_config(p, nodes, true, 256);
+            let mut ex = Explorer::new(cfg, Program::LockCounter { rounds });
+            ex.opts = ExploreOptions {
+                max_crashes: 1,
+                ..ExploreOptions::default()
+            };
+            let sw = Stopwatch::start();
+            let r = ex.run();
+            eprintln!(
+                "{p} n={nodes} r={rounds} crash=1: states={} transitions={} replays={} terminals={} peak={} clean={} [{:.1}ms]",
+                r.states,
+                r.transitions,
+                r.replays,
+                r.terminals,
+                r.peak_depth,
+                r.clean(),
+                sw.elapsed_ms()
+            );
+            if let Some(c) = r.counterexample {
+                eprintln!(
+                    "  CEX: {:?}\n  SCHED: {:?}",
+                    c.what,
+                    c.schedule.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+                );
+            }
+            if let Some(e) = r.error {
+                eprintln!("  ERR: {e}");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn probe() {
+    for (nodes, rounds, recovery) in [
+        (2usize, 2u32, false),
+        (2, 3, false),
+        (3, 1, false),
+        (3, 2, false),
+        (2, 2, true),
+        (3, 1, true),
+    ] {
+        for p in ProtocolName::ALL {
+            let cfg = base_config(p, nodes, recovery, 256);
+            let ex = Explorer::new(cfg, Program::LockCounter { rounds });
+            let sw = Stopwatch::start();
+            let r = ex.run();
+            eprintln!(
+                "{p} n={nodes} r={rounds} rec={recovery}: states={} transitions={} replays={} terminals={} peak={} clean={} [{:.1}ms]",
+                r.states,
+                r.transitions,
+                r.replays,
+                r.terminals,
+                r.peak_depth,
+                r.clean(),
+                sw.elapsed_ms()
+            );
+            if let Some(c) = r.counterexample {
+                eprintln!("  CEX: {:?}", c.what);
+            }
+            if let Some(e) = r.error {
+                eprintln!("  ERR: {e}");
+            }
+        }
+    }
+}

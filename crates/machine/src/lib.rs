@@ -40,7 +40,10 @@ pub mod types;
 
 pub use accounting::{Breakdown, Category};
 pub use cost::CostModel;
-pub use machine::{Agent, AppRequest, AppResponse, Ctx, Machine, RunError, RunOutcome, World};
+pub use machine::{
+    Agent, AppPhase, AppRequest, AppResponse, Ctx, ExploreStep, HeldDelivery, Machine, RunError,
+    RunOutcome, World,
+};
 pub use netfault::{FaultPlan, NetFaultConfig, NetFaultStats};
 pub use nodefault::{CrashSpec, NodeFaultConfig, NodeFaultPlan, NodeFaultStats};
 pub use traffic::{Message, TrafficClass, TrafficStats};

@@ -8,7 +8,7 @@
 //! priced work on a processor, sending messages, and completing blocked
 //! application requests.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use svm_sim::process::{spawn_process, ProcessPort, SimProcess, Yielded};
 use svm_sim::{EventId, Scheduler, SimDuration, SimTime};
@@ -77,6 +77,13 @@ pub trait Agent: Sized + 'static {
     /// Called when a crashed node restarts (its transport is live again; the
     /// application is not resurrected). Default: nothing.
     fn on_restart(&mut self, _ctx: &mut Ctx<'_, Self>, _node: NodeId) {}
+
+    /// Explore mode only ([`World::run_explore`]): the driver crash-stopped
+    /// `dead` and chose `at` as the detecting node. A protocol whose normal
+    /// failure detector is timer-driven runs its detection verdict here,
+    /// because explore mode parks every timer (timeouts are schedule
+    /// choices, not virtual-time events). Default: nothing.
+    fn on_explore_crash(&mut self, _ctx: &mut Ctx<'_, Self>, _at: NodeId, _dead: NodeId) {}
 }
 
 /// The world a scheduler drives: machine state plus the protocol agent.
@@ -142,6 +149,99 @@ impl<M> ProcUnit<M> {
 /// The kernel endpoint of a node's application process.
 type AppProcess<A> = SimProcess<AppRequest<<A as Agent>::Req>, AppResponse<<A as Agent>::Resp>>;
 
+/// A cross-node message parked by explore mode instead of being scheduled
+/// for delivery: one of the explorer's choice points.
+pub struct HeldDelivery<M> {
+    /// Destination processor.
+    pub to: ProcAddr,
+    /// Source processor.
+    pub from: ProcAddr,
+    /// The message itself.
+    pub msg: M,
+    /// Position on the directed `(from, to)` channel at hold time. Gives a
+    /// delivery a stable identity across replays of the same prefix (sleep
+    /// sets key on it) and lets drivers enforce per-channel FIFO release.
+    pub channel_seq: u64,
+}
+
+/// One controller decision at an explore-mode quiescent point (see
+/// [`World::run_explore`]).
+pub enum ExploreStep {
+    /// Release the held delivery at this index in
+    /// [`Machine::held_deliveries`].
+    Deliver(usize),
+    /// Crash-stop a node (an explicit explored action — explore mode has no
+    /// crash plan). Detection is a *separate* action: the timed system's
+    /// detection timeout dwarfs its network latency, so every message the
+    /// dead node had in flight drains before any detection verdict — the
+    /// driver models that by delivering (or doorstep-dropping) the dead
+    /// node's outbound backlog before issuing [`ExploreStep::Detect`].
+    Crash(NodeId),
+    /// Run the failure-detection verdict for an already-crashed node
+    /// ([`Agent::on_explore_crash`] at the lowest live node).
+    Detect(NodeId),
+    /// Treat the current state as terminal and end the run.
+    Stop,
+}
+
+/// Explore-mode hold pool: cross-node sends and timers are parked here
+/// instead of entering the event queue, turning "what arrives next" into an
+/// explicit driver choice (see [`World::run_explore`]).
+struct ExploreHold<M> {
+    deliveries: Vec<HeldDelivery<M>>,
+    /// Parked timers keyed by synthetic-[`EventId`] key: explore mode never
+    /// fires them (timeouts are modeled as explicit choices), but
+    /// [`Ctx::cancel_timer`] must still resolve them.
+    timers: BTreeMap<u64, (ProcAddr, u64)>,
+    next_timer_key: u64,
+    channel_seqs: BTreeMap<(ProcAddr, ProcAddr), u64>,
+}
+
+impl<M> ExploreHold<M> {
+    fn new() -> Self {
+        ExploreHold {
+            deliveries: Vec::new(),
+            timers: BTreeMap::new(),
+            next_timer_key: 0,
+            channel_seqs: BTreeMap::new(),
+        }
+    }
+
+    fn push_delivery(&mut self, from: ProcAddr, to: ProcAddr, msg: M) {
+        let seq = self.channel_seqs.entry((from, to)).or_insert(0);
+        let channel_seq = *seq;
+        *seq += 1;
+        self.deliveries.push(HeldDelivery {
+            to,
+            from,
+            msg,
+            channel_seq,
+        });
+    }
+
+    fn park_timer(&mut self, at: ProcAddr, token: u64) -> u64 {
+        let key = self.next_timer_key;
+        self.next_timer_key += 1;
+        self.timers.insert(key, (at, token));
+        key
+    }
+}
+
+/// Coarse application state, exposed for explore-state digests and
+/// terminal checks. At a quiescent point an application is blocked,
+/// finished, or crashed; `Running` covers the transient in-event states.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AppPhase {
+    /// Ready / computing / compute-paused / request-pending.
+    Running,
+    /// Waiting on the protocol, tagged with the accounting category.
+    Blocked(Category),
+    /// The program returned.
+    Finished,
+    /// The node crash-stopped.
+    Crashed,
+}
+
 struct NodeState<A: Agent> {
     cpu: ProcUnit<A::Msg>,
     coproc: ProcUnit<A::Msg>,
@@ -179,6 +279,13 @@ pub struct Machine<A: Agent> {
     effective_end: SimTime,
     errors: Vec<RunError>,
     halted: bool,
+    /// Explore-mode hold pool; `None` in normal runs, which keeps every
+    /// send/timer on the exact pre-explore code path.
+    explore: Option<ExploreHold<A::Msg>>,
+    /// Per-node count of application yields handled. Monotone program
+    /// progress: explore-state digests include it to tell two program
+    /// points with coincidentally equal protocol state apart.
+    progress: Vec<u64>,
 }
 
 /// A structured failure reported by the protocol instead of a panic. The
@@ -267,6 +374,8 @@ impl<A: Agent> Machine<A> {
             effective_end: SimTime::ZERO,
             errors: Vec::new(),
             halted: false,
+            explore: None,
+            progress: vec![0; n],
         }
     }
 
@@ -330,6 +439,43 @@ impl<A: Agent> Machine<A> {
     /// Traffic counters so far.
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
+    }
+
+    /// Whether explore mode is on (sends and timers are being parked).
+    pub fn is_exploring(&self) -> bool {
+        self.explore.is_some()
+    }
+
+    /// The parked cross-node deliveries (empty outside explore mode).
+    pub fn held_deliveries(&self) -> &[HeldDelivery<A::Msg>] {
+        self.explore.as_ref().map_or(&[], |h| &h.deliveries)
+    }
+
+    /// Parked timers as `(processor, token)` pairs, in park order (explore
+    /// mode; empty otherwise). They never fire — digests and orphan checks
+    /// still want to see them.
+    pub fn held_timers(&self) -> Vec<(ProcAddr, u64)> {
+        self.explore
+            .as_ref()
+            .map_or_else(Vec::new, |h| h.timers.values().copied().collect())
+    }
+
+    /// Per-node counts of application yields handled so far.
+    pub fn progress_counts(&self) -> &[u64] {
+        &self.progress
+    }
+
+    /// Coarse application state of `node` (for digests/terminal checks).
+    pub fn app_phase(&self, node: NodeId) -> AppPhase {
+        match &self.nodes[node.index()].app {
+            AppState::Blocked(c) => AppPhase::Blocked(*c),
+            AppState::Finished => AppPhase::Finished,
+            AppState::Crashed => AppPhase::Crashed,
+            AppState::Ready
+            | AppState::Computing { .. }
+            | AppState::ComputePaused { .. }
+            | AppState::PendingRequest(_) => AppPhase::Running,
+        }
     }
 
     /// A node's execution-time breakdown as of `now` (e.g., at a barrier,
@@ -454,6 +600,100 @@ impl<A: Agent> World<A> {
             }
         }
 
+        self.finish_outcome(&sched)
+    }
+
+    /// Drive the world under an external scheduler-choice controller
+    /// (explore mode): cross-node sends and timers are parked instead of
+    /// scheduled, and whenever the event queue drains — a quiescent point —
+    /// `choose` picks what happens next: release one held delivery, crash a
+    /// node, or stop. Local events (processor service, intra-node posts,
+    /// compute completions) stay on the normal deterministic path, so the
+    /// explored transitions run through exactly the shipped handler code.
+    ///
+    /// No crash-plan, watchdog, or fault-plan events are scheduled: the
+    /// controller owns every source of nondeterminism. Terminal-state
+    /// checking (deadlock, orphaned messages) is the controller's job —
+    /// unlike [`World::run`], a drained queue with blocked applications
+    /// returns instead of panicking.
+    pub fn run_explore<F>(mut self, mut choose: F) -> (RunOutcome, A)
+    where
+        F: FnMut(&mut World<A>) -> ExploreStep,
+    {
+        let mut sched: Scheduler<World<A>> = Scheduler::new();
+        self.machine.explore = Some(ExploreHold::new());
+        for i in 0..self.machine.nodes.len() {
+            let node = NodeId(i as u16);
+            let World { machine, agent } = &mut self;
+            let mut ctx = Ctx::new(&mut sched, machine, ProcAddr::cpu(node));
+            agent.on_init(&mut ctx, node);
+            let segments = ctx.take_segments();
+            self.begin_service(&mut sched, ProcAddr::cpu(node), segments);
+        }
+        for i in 0..self.machine.nodes.len() {
+            let y = self.machine.nodes[i]
+                .process
+                .as_mut()
+                .expect("process present")
+                .next_yield();
+            self.handle_yield(&mut sched, NodeId(i as u16), y);
+        }
+        loop {
+            while !self.machine.halted && sched.step(&mut self) {}
+            if self.machine.halted {
+                break;
+            }
+            match choose(&mut self) {
+                ExploreStep::Stop => break,
+                ExploreStep::Deliver(idx) => {
+                    let held = self
+                        .machine
+                        .explore
+                        .as_mut()
+                        .expect("explore mode")
+                        .deliveries
+                        .remove(idx);
+                    // Release at the current instant: arrival *times* are
+                    // not part of the explored state space, only arrival
+                    // orders are (DESIGN.md §16).
+                    let HeldDelivery { to, from, msg, .. } = held;
+                    let now = sched.now();
+                    sched.at(now, move |s, w: &mut World<A>| w.deliver(s, to, from, msg));
+                }
+                ExploreStep::Crash(node) => self.explore_crash(&mut sched, node),
+                ExploreStep::Detect(node) => self.explore_detect(&mut sched, node),
+            }
+        }
+        self.finish_outcome(&sched)
+    }
+
+    /// Explore-mode crash action: crash-stop `node` and drop held
+    /// deliveries addressed to it (the doorstep drop the normal path
+    /// applies). The node's *outbound* backlog stays deliverable — the
+    /// network does not forget a message because its sender died.
+    fn explore_crash(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        self.crash_node(sched, node);
+        if let Some(h) = &mut self.machine.explore {
+            h.deliveries.retain(|d| d.to.node != node);
+        }
+    }
+
+    /// Explore-mode detection action: run the agent's failure-detection
+    /// verdict for `node` on the lowest live node.
+    fn explore_detect(&mut self, sched: &mut Scheduler<World<A>>, node: NodeId) {
+        let detector = (0..self.machine.nodes.len())
+            .map(|i| NodeId(i as u16))
+            .find(|n| !self.machine.nodes[n.index()].crashed);
+        if let Some(det) = detector {
+            let World { machine, agent } = self;
+            let mut ctx = Ctx::new(sched, machine, ProcAddr::cpu(det));
+            agent.on_explore_crash(&mut ctx, det, node);
+            let segments = ctx.take_segments();
+            self.begin_service(sched, ProcAddr::cpu(det), segments);
+        }
+    }
+
+    fn finish_outcome(mut self, sched: &Scheduler<World<A>>) -> (RunOutcome, A) {
         // Trailing protocol service (e.g., a node serving a fetch after its
         // own program ended) can outlast the last application finish; the
         // run ends at the last meaningful event — which, without a crash
@@ -541,15 +781,16 @@ impl<A: Agent> World<A> {
         if live_run {
             self.machine.refresh(i, now);
         }
-        // INVARIANT: crash events are only scheduled when a plan is installed.
-        let stats = self
-            .machine
-            .node_fault
-            .as_mut()
-            .expect("crash without a plan")
-            .stats_mut();
-        stats.crashes += 1;
-        stats.discarded_work += discarded as u64;
+        // INVARIANT: crash events are only scheduled when a plan is
+        // installed — except in explore mode, where crashes are explicit
+        // driver actions and there is no plan to account them to.
+        if let Some(plan) = self.machine.node_fault.as_mut() {
+            let stats = plan.stats_mut();
+            stats.crashes += 1;
+            stats.discarded_work += discarded as u64;
+        } else {
+            debug_assert!(self.machine.explore.is_some(), "crash without a plan");
+        }
     }
 
     /// Restart a crashed node as a warm standby: transport and protocol
@@ -648,6 +889,7 @@ impl<A: Agent> World<A> {
         let i = node.index();
         let now = sched.now();
         self.machine.last_progress = now;
+        self.machine.progress[i] += 1;
         match y {
             Yielded::Finished(Ok(())) => {
                 self.machine.nodes[i].app = AppState::Finished;
@@ -988,6 +1230,13 @@ impl<'a, A: Agent> Ctx<'a, A> {
         assert_ne!(from.node, to.node, "use post_local for intra-node messages");
         let bytes = msg.wire_bytes();
         self.machine.traffic.record(from.node, msg.class(), bytes);
+        if let Some(hold) = &mut self.machine.explore {
+            // Explore mode: park the delivery; releasing it is a driver
+            // choice point. Transit time is irrelevant — only orders are
+            // explored.
+            hold.push_delivery(from, to, msg);
+            return;
+        }
         let transit = self.machine.cost.transit(bytes);
         let at = self.now() + transit;
         match &mut self.machine.fault {
@@ -1019,6 +1268,14 @@ impl<'a, A: Agent> Ctx<'a, A> {
     /// service queue. Returns the event for [`Ctx::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> EventId {
         let at_addr = self.at;
+        if let Some(hold) = &mut self.machine.explore {
+            // Explore mode: park the timer under a synthetic id. It never
+            // fires — timeout-driven machinery (heartbeats, retransmits) is
+            // replaced by explicit driver actions — but cancel_timer still
+            // resolves it through the hold map.
+            let key = hold.park_timer(at_addr, token);
+            return EventId::synthetic(key);
+        }
         let when = self.now() + delay;
         let epoch = self.machine.nodes[at_addr.node.index()].epoch;
         self.sched.at(when, move |s, w: &mut World<A>| {
@@ -1031,6 +1288,12 @@ impl<'a, A: Agent> Ctx<'a, A> {
 
     /// Cancel a pending timer; returns `false` if it already fired.
     pub fn cancel_timer(&mut self, id: EventId) -> bool {
+        if id.is_synthetic() {
+            return match &mut self.machine.explore {
+                Some(hold) => hold.timers.remove(&id.synthetic_key()).is_some(),
+                None => false,
+            };
+        }
         self.sched.cancel(id)
     }
 

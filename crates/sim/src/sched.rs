@@ -15,6 +15,34 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// Marks ids minted outside the scheduler (see [`EventId::synthetic`]).
+    const SYNTHETIC_BIT: u64 = 1 << 63;
+
+    /// Mint an id no scheduled event will ever carry.
+    ///
+    /// Explore-mode machines park timers instead of scheduling them but must
+    /// still hand their callers an `EventId`. Synthetic ids live in a
+    /// reserved range (bit 63 set, far above any reachable sequence number),
+    /// so passing one to [`Scheduler::cancel`] is a safe no-op: the
+    /// sequence-bound check rejects it before it can tombstone a real event.
+    pub fn synthetic(key: u64) -> EventId {
+        debug_assert!(key & Self::SYNTHETIC_BIT == 0, "synthetic key too large");
+        EventId(Self::SYNTHETIC_BIT | key)
+    }
+
+    /// Whether this id came from [`EventId::synthetic`].
+    pub fn is_synthetic(self) -> bool {
+        self.0 & Self::SYNTHETIC_BIT != 0
+    }
+
+    /// The `key` this synthetic id was minted with.
+    pub fn synthetic_key(self) -> u64 {
+        debug_assert!(self.is_synthetic());
+        self.0 & !Self::SYNTHETIC_BIT
+    }
+}
+
 type EventFn<W> = Box<dyn FnOnce(&mut Scheduler<W>, &mut W)>;
 
 struct Entry<W> {
@@ -285,6 +313,21 @@ mod tests {
             assert_eq!(sc.now().as_nanos(), 10);
         });
         s.run(&mut w);
+    }
+
+    #[test]
+    fn synthetic_ids_are_inert() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut w = 0u32;
+        let real = s.after(SimDuration::from_nanos(1), |_, w: &mut u32| *w += 1);
+        let fake = EventId::synthetic(real.0); // same low bits as a live event
+        assert!(fake.is_synthetic());
+        assert!(!real.is_synthetic());
+        assert_eq!(fake.synthetic_key(), real.0);
+        // Cancelling the synthetic id must not tombstone the real event.
+        assert!(!s.cancel(fake));
+        s.run(&mut w);
+        assert_eq!(w, 1, "real event still fired");
     }
 
     #[test]

@@ -41,8 +41,11 @@ fi
 echo "== clippy, warnings denied (offline)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== static analysis (svm-analyzer: determinism, unsafe-audit, panic-policy, message-totality)"
+echo "== static analysis (svm-analyzer: determinism, unsafe-audit, panic-policy, message-totality, trace-totality, timer-token-disjointness)"
 cargo run --release -p svm-bench --bin analyze
+
+echo "== exhaustive exploration gate (svm-explore: bounded matrix, all four protocols, crash on/off)"
+cargo run --release -p svm-bench --bin explore -- --fast
 
 if [[ "$FAST" -eq 0 ]]; then
   echo "== fault-injection smoke matrix (mixed 0 / 0.1% / 1% + dup/delay/stall-dominated)"
