@@ -70,6 +70,59 @@ fn sor_hlrc_speedup_matches_recorded_table2() {
     );
 }
 
+/// Parse the `SOR` row of the recorded 64-node table and return the
+/// `HLRC@64` cell as printed.
+fn recorded_sor_hlrc_at_64() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/table2_full64.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("results/table2_full64.txt must exist");
+    let header: Vec<String> = text
+        .lines()
+        .find(|l| l.contains("Application"))
+        .expect("table header")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    let col = header
+        .iter()
+        .position(|h| h == "HLRC@64")
+        .expect("HLRC@64 column");
+    let row: Vec<&str> = text
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some("SOR"))
+        .expect("SOR row")
+        .split_whitespace()
+        .collect();
+    row[col].to_string()
+}
+
+/// The paper-scale pin: SOR at the paper's largest configuration (64
+/// nodes) must keep reproducing the recorded `results/table2_full64.txt`
+/// cell bit-for-bit. 64 nodes exercises what 8 nodes cannot — 64-entry
+/// vector times, 64-way write-notice fan-out, and the wide page-home
+/// spread — so engine-level rework (event slabs, pooled buffers, shared
+/// `Rc` clocks, the chain-merge `causal_sort`) that perturbed any of them
+/// would surface here as a speedup mismatch.
+#[test]
+fn sor_hlrc_speedup_matches_recorded_table2_at_64_nodes() {
+    let sor = Sor::scaled(1.0);
+    let cfg = SvmConfig::new(ProtocolName::Hlrc, 64);
+    let run = sor.run(&cfg);
+    assert!(
+        run.report.errors.is_empty() && run.report.retransmit_trace.is_empty(),
+        "zero-fault run must have no protocol errors or retransmissions"
+    );
+    let got = format!("{:.2}", run.report.speedup_vs(sor.seq_secs()));
+    assert_eq!(
+        got,
+        recorded_sor_hlrc_at_64(),
+        "SOR HLRC@64 speedup drifted from the recorded 64-node Table 2 \
+         (zero-fault virtual time is no longer bit-identical)"
+    );
+}
+
 /// The output pin: a zeroed fault profile (seed set, all rates 0.0) must
 /// leave both the application result and the virtual-time outcome
 /// bit-identical to a config that never mentioned faults.

@@ -80,7 +80,7 @@ fn bench_causal_sort(h: &mut Harness) {
                 DiffPacket {
                     writer: NodeId((i % 8) as u16),
                     interval: (i / 8 + 1) as u32,
-                    vt,
+                    vt: Rc::new(vt),
                     diff: Rc::new(Diff::default()),
                 }
             })

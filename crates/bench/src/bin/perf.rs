@@ -38,6 +38,22 @@ static ALLOC: talloc::CountingAlloc = talloc::CountingAlloc::new();
 const SCHEMA: &str = "svm-perf-v1";
 const PAGE: usize = 8192;
 
+/// Recorded allocation budgets (counts, not bytes) for the serial sweep
+/// stage of the two matrices, re-recorded whenever the engine's allocation
+/// behavior changes on purpose. `--check` fails a baseline whose
+/// `sweep_serial` stage `allocation_count` exceeds its matrix's budget by
+/// more than [`ALLOC_BUDGET_SLACK`]: an allocation-count regression is an
+/// engine bug (a pool stopped pooling, a clone crept back into a hot
+/// path), not machine noise — the sweep's count is deterministic for a
+/// fixed matrix, unlike wall-clock numbers. The gate reads the stage
+/// count, not the whole-run total, because the micro stage's count scales
+/// with its wall-clock-calibrated iteration counts.
+const FAST_SWEEP_ALLOC_BUDGET: u64 = 266_000;
+const FULL_SWEEP_ALLOC_BUDGET: u64 = 3_733_000;
+
+/// Allowed headroom over the recorded allocation budget (10%).
+const ALLOC_BUDGET_SLACK: f64 = 1.10;
+
 struct Opts {
     fast: bool,
     threads: Option<usize>,
@@ -135,7 +151,54 @@ fn check_file(path: &str) -> ! {
             std::process::exit(1);
         }
     };
-    let problems = validate(&doc);
+    let mut problems = validate(&doc);
+    let recorded = doc.get("cores").and_then(Json::as_num).unwrap_or(0.0) as usize;
+
+    // Parallel-driver gate: a baseline recorded on a multi-core machine
+    // where the parallel sweep lost to the serial one is a driver
+    // regression (contended arenas, serialized handoffs), not noise —
+    // fail, don't warn. Single-core recordings are exempt: there the OS
+    // is time-slicing one core and the ratio carries no signal.
+    if let Some(speedup) = doc
+        .get("speedup_parallel_over_serial")
+        .and_then(Json::as_num)
+    {
+        if recorded >= 2 && speedup < 1.0 {
+            problems.push(format!(
+                "parallel sweep slower than serial ({speedup:.2}x) on a \
+                 {recorded}-core recording: parallel driver regression"
+            ));
+        }
+    }
+
+    // Allocation budget gate: the serial sweep's count is deterministic
+    // per matrix, so a baseline blowing its recorded budget means the
+    // engine regressed.
+    let sweep_count = match doc.get("stages") {
+        Some(Json::Arr(stages)) => stages
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some("sweep_serial"))
+            .and_then(|s| s.get("allocation_count"))
+            .and_then(Json::as_num),
+        _ => None,
+    };
+    if let Some(count) = sweep_count {
+        let fast = doc.get("fast") == Some(&Json::Bool(true));
+        let budget = if fast {
+            FAST_SWEEP_ALLOC_BUDGET
+        } else {
+            FULL_SWEEP_ALLOC_BUDGET
+        };
+        let limit = budget as f64 * ALLOC_BUDGET_SLACK;
+        if count > limit {
+            problems.push(format!(
+                "sweep_serial allocation_count {count:.0} exceeds the recorded \
+                 {} budget {budget} by more than 10%",
+                if fast { "fast" } else { "full" }
+            ));
+        }
+    }
+
     if problems.is_empty() {
         // Wall-clock numbers are only comparable on a matching machine:
         // warn (but still pass) when the baseline was recorded with a
@@ -143,7 +206,6 @@ fn check_file(path: &str) -> ! {
         let here = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let recorded = doc.get("cores").and_then(Json::as_num).unwrap_or(0.0) as usize;
         if recorded != here {
             eprintln!(
                 "perf --check: WARNING: {path} was recorded on {recorded} cores, \
@@ -159,19 +221,23 @@ fn check_file(path: &str) -> ! {
     std::process::exit(1);
 }
 
-/// The fixed sweep matrix for the baseline.
+/// The fixed sweep matrix for the baseline. Both variants include a
+/// 64-node column — the paper's largest configuration — so every baseline
+/// (and the verify.sh smoke run) exercises paper-scale fan-out: 64-way
+/// write-notice distribution, 64-entry vector times, and the page-home
+/// spread all behave differently than at 4-8 nodes.
 fn matrix(fast: bool) -> Options {
     if fast {
         Options {
             scale: 0.03,
-            nodes: vec![4],
+            nodes: vec![4, 64],
             protocols: ProtocolName::ALL.to_vec(),
             apps: vec!["sor".into(), "lu".into()],
         }
     } else {
         Options {
             scale: 0.1,
-            nodes: vec![4, 8],
+            nodes: vec![4, 8, 64],
             protocols: ProtocolName::ALL.to_vec(),
             apps: Vec::new(),
         }
@@ -198,7 +264,11 @@ fn fingerprint(records: &[Record]) -> Vec<(String, u64, u64, u64, u64, u64)> {
 }
 
 fn micro_benches() -> Vec<(&'static str, f64)> {
-    let mut h = Harness::new(None);
+    // Reduced measurement budget: the baseline tracks these medians for
+    // drift, not for publication-grade precision, and the alloc-heavy
+    // bodies (8 KiB page clones) would otherwise dominate the stage's
+    // allocation counter. `cargo bench` keeps the full default budget.
+    let mut h = Harness::with_budget(None, 5, 500_000);
     let mut out = Vec::new();
 
     let twin: Vec<u8> = (0..PAGE).map(|i| (i % 251) as u8).collect();
@@ -208,13 +278,22 @@ fn micro_benches() -> Vec<(&'static str, f64)> {
     }
     let full: Vec<u8> = twin.iter().map(|b| b.wrapping_add(1)).collect();
 
-    if let Some(ns) = h.bench("diff/create_sparse_8k", || Diff::create(&twin, &sparse)) {
+    // The create benches measure the simulator's actual diff lifecycle —
+    // create, use, recycle back to the buffer pool — which is also what
+    // keeps them allocation-free in steady state.
+    if let Some(ns) = h.bench("diff/create_sparse_8k", || {
+        Diff::create(&twin, &sparse).recycle()
+    }) {
         out.push(("diff/create_sparse_8k", ns));
     }
-    if let Some(ns) = h.bench("diff/create_clean_8k", || Diff::create(&twin, &twin)) {
+    if let Some(ns) = h.bench("diff/create_clean_8k", || {
+        Diff::create(&twin, &twin).recycle()
+    }) {
         out.push(("diff/create_clean_8k", ns));
     }
-    if let Some(ns) = h.bench("diff/create_full_8k", || Diff::create(&twin, &full)) {
+    if let Some(ns) = h.bench("diff/create_full_8k", || {
+        Diff::create(&twin, &full).recycle()
+    }) {
         out.push(("diff/create_full_8k", ns));
     }
     let sparse_diff = Diff::create(&twin, &sparse);
@@ -230,7 +309,7 @@ fn micro_benches() -> Vec<(&'static str, f64)> {
     }
     let other_diff = Diff::create(&twin, &shifted);
     if let Some(ns) = h.bench("diff/merge_sparse_8k", || {
-        sparse_diff.merge(&other_diff, PAGE)
+        sparse_diff.merge(&other_diff, PAGE).recycle()
     }) {
         out.push(("diff/merge_sparse_8k", ns));
     }
@@ -268,16 +347,20 @@ fn main() {
     // Stage 1: micro-benches.
     talloc::reset_peak();
     let sw = Stopwatch::start();
+    let alloc0 = talloc::stats().allocation_count;
     let micro = micro_benches();
     let micro_ms = sw.elapsed_ms();
     let micro_peak = talloc::stats().peak_live_bytes;
+    let micro_allocs = talloc::stats().allocation_count - alloc0;
 
     // Stage 2: serial sweep.
     talloc::reset_peak();
     let sw = Stopwatch::start();
+    let alloc0 = talloc::stats().allocation_count;
     let serial = run_sweep_serial(&m);
     let serial_ms = sw.elapsed_ms();
     let serial_peak = talloc::stats().peak_live_bytes;
+    let serial_allocs = talloc::stats().allocation_count - alloc0;
     let events: u64 = serial
         .iter()
         .map(|r| r.run.report.outcome.events_executed)
@@ -286,9 +369,11 @@ fn main() {
     // Stage 3: parallel sweep, same matrix.
     talloc::reset_peak();
     let sw = Stopwatch::start();
+    let alloc0 = talloc::stats().allocation_count;
     let par = run_sweep_with(&m, threads);
     let par_ms = sw.elapsed_ms();
     let par_peak = talloc::stats().peak_live_bytes;
+    let par_allocs = talloc::stats().allocation_count - alloc0;
 
     // The determinism gate: every run bit-identical, in order.
     let fp_serial = fingerprint(&serial);
@@ -303,11 +388,12 @@ fn main() {
     }
 
     let speedup = serial_ms / par_ms.max(1e-9);
-    let stage = |name: &str, wall_ms: f64, peak: u64, runs: Option<usize>| {
+    let stage = |name: &str, wall_ms: f64, peak: u64, allocs: u64, runs: Option<usize>| {
         let mut fields = vec![
             ("name", Json::str(name)),
             ("wall_ms", Json::Num(wall_ms)),
             ("peak_live_bytes", Json::int(peak)),
+            ("allocation_count", Json::int(allocs)),
         ];
         if let Some(n) = runs {
             fields.push(("runs", Json::int(n as u64)));
@@ -351,9 +437,15 @@ fn main() {
         (
             "stages",
             Json::Arr(vec![
-                stage("micro", micro_ms, micro_peak, None),
-                stage("sweep_serial", serial_ms, serial_peak, Some(cells)),
-                stage("sweep_parallel", par_ms, par_peak, Some(cells)),
+                stage("micro", micro_ms, micro_peak, micro_allocs, None),
+                stage(
+                    "sweep_serial",
+                    serial_ms,
+                    serial_peak,
+                    serial_allocs,
+                    Some(cells),
+                ),
+                stage("sweep_parallel", par_ms, par_peak, par_allocs, Some(cells)),
             ]),
         ),
         ("speedup_parallel_over_serial", Json::Num(speedup)),

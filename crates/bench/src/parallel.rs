@@ -14,6 +14,18 @@
 //! parallelism, always clamped to the job count. `threads <= 1` runs the
 //! jobs inline on the calling thread with no pool at all, which keeps the
 //! serial path available for speedup baselines (`--bin perf`).
+//!
+//! Memory behavior: the engine's scratch arenas (`svm_mem::pool` byte
+//! vectors, the machine's service-segment vectors, the scheduler's event
+//! slab) are **thread-local**, so a worker that runs many cells reuses
+//! the same arenas across all of them — the first cell pays the
+//! allocations, later cells recycle. Handout is bounded to one job per
+//! worker at a time (the atomic counter claims a single index, never a
+//! batch), so peak live memory is `workers x (one cell's live state)`
+//! plus the per-thread pools, each of which has a hard cap (e.g.
+//! `svm_mem::pool`'s `MAX_POOLED_VECS`, the machine's
+//! `MAX_POOLED_SEG_VECS`) —
+//! peak memory stays bounded no matter how many cells a sweep has.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,70 @@
+//! Sequential equivalence: the optimized engine (slab events, pooled
+//! buffers, recycled service segments, shared `Rc` clocks) must produce
+//! virtual-time results **bit-identical** to the legacy
+//! allocation-per-event engine it replaced.
+//!
+//! Each variant runs in its own freshly spawned thread with both
+//! per-thread engine overrides forced (`svm_sim::engine::set_thread_engine`
+//! and `svm_mem::pool::set_thread_engine`) — the knobs are thread-local,
+//! so a dedicated thread guarantees the whole run, including scheduler
+//! and pool construction, sees one consistent engine choice. Every
+//! fingerprint component that `perf --out` records is compared: total
+//! virtual time, events executed, traffic message/byte totals, and the
+//! application checksum.
+
+use svm_bench::{run_sweep_serial, Options, Record};
+use svm_core::ProtocolName;
+
+/// Everything that must be bit-identical between the two engines, per
+/// run, in canonical sweep order.
+fn fingerprint(records: &[Record]) -> Vec<(String, u64, u64, u64, u64, u64)> {
+    records
+        .iter()
+        .map(|r| {
+            let traffic = r.run.report.outcome.traffic.grand_total();
+            (
+                format!("{}/{}/{}", r.app, r.protocol.label(), r.nodes),
+                r.run.report.outcome.total_time.as_nanos(),
+                r.run.report.outcome.events_executed,
+                traffic.messages,
+                traffic.bytes,
+                r.run.checksum,
+            )
+        })
+        .collect()
+}
+
+/// Run the sweep on a dedicated thread pinned to one engine.
+fn sweep_on_engine(opts: &Options, legacy: bool) -> Vec<(String, u64, u64, u64, u64, u64)> {
+    let opts = opts.clone();
+    std::thread::spawn(move || {
+        svm_sim::engine::set_thread_engine(legacy);
+        svm_mem::pool::set_thread_engine(legacy);
+        fingerprint(&run_sweep_serial(&opts))
+    })
+    .join()
+    .expect("sweep thread must not panic")
+}
+
+/// All four protocols, two workloads with different sharing patterns
+/// (SOR: migratory rows; Water-Nsquared: the homeless diff-store stress),
+/// at a small and a paper-scale node count. 16 cells per engine.
+#[test]
+fn legacy_and_optimized_engines_agree_bit_for_bit() {
+    let opts = Options {
+        scale: 0.03,
+        nodes: vec![4, 64],
+        protocols: ProtocolName::ALL.to_vec(),
+        apps: vec!["sor".into(), "water-n".into()],
+    };
+    let legacy = sweep_on_engine(&opts, true);
+    let optimized = sweep_on_engine(&opts, false);
+    assert_eq!(legacy.len(), optimized.len(), "cell counts must match");
+    for (l, o) in legacy.iter().zip(optimized.iter()) {
+        assert_eq!(
+            l, o,
+            "engine divergence at {}: legacy {:?} vs optimized {:?}",
+            l.0, l, o
+        );
+    }
+}

@@ -79,6 +79,87 @@ fn matching_core_count_is_silent_on_stderr() {
 }
 
 #[test]
+fn parallel_slower_than_serial_fails_on_multicore_recording() {
+    // A 4-core recording where the parallel sweep lost to the serial one
+    // is a driver regression, not noise: the check must fail.
+    let bad = r#"{
+  "schema": "svm-perf-v1",
+  "cores": 4,
+  "identical": true,
+  "speedup_parallel_over_serial": 0.51,
+  "alloc": { "peak_live_bytes": 1048576 },
+  "stages": [ { "name": "sweep_serial", "wall_ms": 800.0 } ]
+}"#;
+    let out = run_check(bad, "perf_check_slow_parallel.json");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "slow parallel must fail the check");
+    assert!(
+        stderr.contains("parallel sweep slower than serial"),
+        "stderr must name the driver regression, got: {stderr:?}"
+    );
+}
+
+#[test]
+fn parallel_slower_than_serial_passes_on_single_core_recording() {
+    // On one core the serial/parallel ratio carries no signal: exempt.
+    let ok = r#"{
+  "schema": "svm-perf-v1",
+  "cores": 1,
+  "identical": true,
+  "speedup_parallel_over_serial": 0.51,
+  "alloc": { "peak_live_bytes": 1048576 },
+  "stages": [ { "name": "sweep_serial", "wall_ms": 800.0 } ]
+}"#;
+    let out = run_check(ok, "perf_check_slow_parallel_1core.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "single-core recordings are exempt from the speedup gate"
+    );
+    assert!(stdout.contains("OK"), "got: {stdout:?}");
+}
+
+#[test]
+fn sweep_allocation_count_over_budget_fails() {
+    // A serial sweep claiming vastly more allocations than the recorded
+    // budget means the engine regressed (a pool stopped pooling): fail.
+    let bad = r#"{
+  "schema": "svm-perf-v1",
+  "cores": 1,
+  "identical": true,
+  "alloc": { "peak_live_bytes": 1048576 },
+  "stages": [
+    { "name": "sweep_serial", "wall_ms": 800.0, "allocation_count": 999999999 }
+  ]
+}"#;
+    let out = run_check(bad, "perf_check_alloc_budget.json");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a blown budget must fail the check");
+    assert!(
+        stderr.contains("allocation_count") && stderr.contains("budget"),
+        "stderr must name the allocation budget, got: {stderr:?}"
+    );
+}
+
+#[test]
+fn sweep_allocation_count_within_budget_passes() {
+    let ok = r#"{
+  "schema": "svm-perf-v1",
+  "cores": 1,
+  "identical": true,
+  "fast": true,
+  "alloc": { "peak_live_bytes": 1048576 },
+  "stages": [
+    { "name": "sweep_serial", "wall_ms": 800.0, "allocation_count": 250000 }
+  ]
+}"#;
+    let out = run_check(ok, "perf_check_alloc_ok.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("OK"), "got: {stdout:?}");
+}
+
+#[test]
 fn malformed_baseline_fails_on_stderr_with_no_ok_verdict() {
     let bad = r#"{ "schema": "svm-perf-v1", "cores": 0, "identical": false }"#;
     let out = run_check(bad, "perf_check_bad.json");

@@ -84,12 +84,11 @@ fn digest_addr(d: &mut Digest, a: ProcAddr) {
 }
 
 fn digest_diff(d: &mut Digest, diff: &Diff) {
-    let runs = diff.runs();
-    d.u64(runs.len() as u64);
-    for r in runs {
+    d.u64(diff.run_count() as u64);
+    for r in diff.runs() {
         d.u64(r.offset as u64);
         d.u64(r.bytes.len() as u64);
-        d.bytes(&r.bytes);
+        d.bytes(r.bytes);
     }
 }
 

@@ -89,8 +89,8 @@ pub enum SvmResp {
 }
 
 /// Protocol messages. `Clone` so the reliable-delivery layer can keep
-/// unacked copies for retransmission (diffs and records are `Rc`-shared, so
-/// clones are cheap; `PageReply`/`HomeReply` data is the one real copy).
+/// unacked copies for retransmission (diffs, records, and reply payloads
+/// are `Rc`-shared, so clones are cheap).
 #[derive(Clone, Debug)]
 pub enum SvmMsg {
     // ---- synchronization (always serviced by the compute processor) ----
@@ -178,8 +178,9 @@ pub enum SvmMsg {
     PageReply {
         /// The page.
         page: PageNum,
-        /// Page contents.
-        data: Vec<u8>,
+        /// Page contents (`Rc` so fault-plan duplicates and retransmit
+        /// copies share one 8 KiB buffer instead of deep-cloning it).
+        data: Rc<Vec<u8>>,
         /// Per-writer intervals already included in `data`.
         applied: Vec<(NodeId, u32)>,
     },
@@ -209,8 +210,8 @@ pub enum SvmMsg {
     HomeReply {
         /// The page.
         page: PageNum,
-        /// Page contents.
-        data: Vec<u8>,
+        /// Page contents (`Rc`-shared; see [`SvmMsg::PageReply`]).
+        data: Rc<Vec<u8>>,
         /// Per-writer intervals included (becomes the fetcher's `applied`).
         applied: Vec<(NodeId, u32)>,
     },
@@ -251,7 +252,9 @@ pub struct DiffPacket {
     /// The writer's interval that produced the diff.
     pub interval: u32,
     /// The interval's vector time (for causal ordering at the applier).
-    pub vt: VectorTime,
+    /// Aliases the stored diff's clock — packets are borrowed views of the
+    /// writer's store, not copies.
+    pub vt: Rc<VectorTime>,
     /// The updates.
     pub diff: Rc<Diff>,
 }
@@ -380,7 +383,7 @@ mod tests {
     fn page_reply_priced_by_page_size() {
         let reply = SvmMsg::HomeReply {
             page: PageNum(0),
-            data: vec![0; 8192],
+            data: Rc::new(vec![0; 8192]),
             applied: vec![],
         };
         assert_eq!(reply.wire_bytes(), 16 + 8192);

@@ -79,9 +79,14 @@ impl SvmAgent {
             // Under AURC the hardware snoops writes; the simulator still
             // keeps a twin internally to reconstruct the propagated bytes,
             // but charges no time or protocol memory for it.
-            // INVARIANT: make_writable runs at the end of a validated fault, so the
-            // page buffer was installed before any write upgrade.
-            st.twin = Some(st.buf.as_mut().expect("writable page has a copy").to_vec());
+            st.twin = Some(
+                st.buf
+                    .as_mut()
+                    // INVARIANT: make_writable runs at the end of a validated fault, so
+                    // the page buffer was installed before any write upgrade.
+                    .expect("writable page has a copy")
+                    .to_pooled_vec(),
+            );
             if !auto_update {
                 self.counters[idx].mem.twins(ps as i64);
             }
@@ -300,7 +305,7 @@ impl SvmAgent {
             );
             return;
         };
-        let data = buf.to_vec();
+        let data = std::rc::Rc::new(buf.to_pooled_vec());
         let applied = st.applied.to_vec();
         self.send_or_local(
             ctx,
@@ -319,7 +324,7 @@ impl SvmAgent {
         ctx: &mut MCtx<'_>,
         r: NodeId,
         page: PageNum,
-        data: Vec<u8>,
+        data: std::rc::Rc<Vec<u8>>,
         applied: Vec<(NodeId, u32)>,
     ) {
         let overhead = ctx.cost().handler_overhead;
@@ -332,6 +337,10 @@ impl SvmAgent {
             st.buf = Some(PageBuf::from_slice(&data));
             st.applied.merge_max(&applied);
             st.seen.merge_max(&applied);
+        }
+        // Last reference (no retransmit copy in flight): pool the buffer.
+        if let Ok(v) = std::rc::Rc::try_unwrap(data) {
+            svm_mem::pool::put_bytes(v);
         }
         debug_assert!(matches!(
             // INVARIANT: a PageReply only arrives for the outstanding fault that
@@ -422,28 +431,83 @@ impl SvmAgent {
     }
 }
 
-/// Topologically sort diffs by their intervals' happens-before order
-/// (selection-based; sets are small). Concurrent diffs tie-break by
-/// `(writer, interval)` for determinism.
+/// Topologically sort diffs by their intervals' happens-before order.
+/// Concurrent diffs tie-break by `(writer, interval)` for determinism:
+/// the result is exactly the order produced by repeatedly extracting the
+/// causally minimal remaining packet with the smallest key (the obvious
+/// O(k³) selection loop, kept as `reference_causal_sort` in the tests).
+///
+/// The fast path exploits the shape of the input: packets from one
+/// writer form a *chain* — a writer's vector time strictly grows with
+/// its interval number (its own component is bumped every interval, the
+/// rest never decrease) — so the partial order is a union of at most
+/// `writers` chains. Three consequences, each used below:
+///
+/// 1. A chain sorted by interval is already in causal order, so only its
+///    *head* (lowest unemitted interval) can ever be minimal — every
+///    later element is preceded by the head.
+/// 2. A head is preceded by some element of another chain iff it is
+///    preceded by that chain's head (transitivity through the chain).
+/// 3. Therefore the minimal set is exactly the heads not preceded by any
+///    other head, and the reference's pick is the smallest-keyed one.
+///
+/// Emitting a packet only changes one chain's head, so the "how many
+/// other heads precede me" counts are maintained incrementally: O(k·w)
+/// vector-time comparisons total instead of the reference's O(k³). At 64
+/// nodes the homeless protocols sort per-page chains a thousand packets
+/// deep on every fault; the reference implementation was >99% of host
+/// CPU time for Water/LRC at that scale.
 pub fn causal_sort(packets: &mut Vec<DiffPacket>) {
-    let mut rest = std::mem::take(packets);
-    while !rest.is_empty() {
-        // Minimal elements: not causally preceded by any other remaining.
+    if packets.len() <= 1 {
+        return;
+    }
+    fn precedes(a: &DiffPacket, b: &DiffPacket) -> bool {
+        a.vt.causal_cmp(&b.vt) == Some(Ordering::Less)
+    }
+    // Group into per-writer chains, causally ordered; `reverse` so that
+    // `last()` is the head and `pop()` emits it.
+    let taken = std::mem::take(packets);
+    packets.reserve(taken.len());
+    let mut chains: Vec<Vec<DiffPacket>> = Vec::new();
+    for p in taken {
+        match chains.iter_mut().find(|c| c[0].writer == p.writer) {
+            Some(c) => c.push(p),
+            None => chains.push(vec![p]),
+        }
+    }
+    for c in &mut chains {
+        c.sort_by_key(|p| p.interval);
+        debug_assert!(
+            c.windows(2).all(|w| precedes(&w[0], &w[1])),
+            "a writer's vector times must grow with its intervals"
+        );
+        c.reverse();
+    }
+    // Exhausted chains are removed immediately, so a live chain is never
+    // empty and its head is its last element.
+    fn head(c: &[DiffPacket]) -> &DiffPacket {
+        &c[c.len() - 1]
+    }
+    // blockers[i]: number of other chains whose head precedes chain i's
+    // head. A chain is ready to emit when its count is zero.
+    let mut blockers: Vec<usize> = (0..chains.len())
+        .map(|i| {
+            (0..chains.len())
+                .filter(|&j| j != i && precedes(head(&chains[j]), head(&chains[i])))
+                .count()
+        })
+        .collect();
+    while !chains.is_empty() {
         let mut best: Option<usize> = None;
-        for (i, cand) in rest.iter().enumerate() {
-            let minimal = rest
-                .iter()
-                .enumerate()
-                .all(|(j, other)| j == i || other.vt.causal_cmp(&cand.vt) != Some(Ordering::Less));
-            if !minimal {
+        for i in 0..chains.len() {
+            if blockers[i] != 0 {
                 continue;
             }
+            let key = |p: &DiffPacket| (p.writer.0, p.interval);
             best = Some(match best {
                 None => i,
                 Some(b) => {
-                    let bk = (rest[b].writer.0, rest[b].interval);
-                    let ck = (cand.writer.0, cand.interval);
-                    if ck < bk {
+                    if key(head(&chains[i])) < key(head(&chains[b])) {
                         i
                     } else {
                         b
@@ -454,7 +518,33 @@ pub fn causal_sort(packets: &mut Vec<DiffPacket>) {
         // INVARIANT: vector-time ordering is a strict partial order, so a
         // non-empty set always has a minimal element.
         let pick = best.expect("happens-before is acyclic");
-        packets.push(rest.remove(pick));
+        // INVARIANT: `pick` was chosen among live chains, which are never
+        // empty.
+        let emitted = chains[pick].pop().expect("live chain has a head");
+        // The emitted head stops blocking; its successor keeps any block
+        // it implies (same chain, so successor < h ⟹ emitted < h — the
+        // counts only ever decrease here).
+        for j in 0..chains.len() {
+            if j == pick || !precedes(&emitted, head(&chains[j])) {
+                continue;
+            }
+            let still = chains[pick]
+                .last()
+                .is_some_and(|succ| precedes(succ, head(&chains[j])));
+            if !still {
+                blockers[j] -= 1;
+            }
+        }
+        if chains[pick].is_empty() {
+            chains.swap_remove(pick);
+            blockers.swap_remove(pick);
+        } else {
+            // Recount the advanced chain's own blockers at its new head.
+            blockers[pick] = (0..chains.len())
+                .filter(|&j| j != pick && precedes(head(&chains[j]), head(&chains[pick])))
+                .count();
+        }
+        packets.push(emitted);
     }
 }
 
@@ -473,7 +563,7 @@ mod tests {
         DiffPacket {
             writer: NodeId(writer),
             interval,
-            vt: v,
+            vt: Rc::new(v),
             diff: Rc::new(Diff::default()),
         }
     }
@@ -507,5 +597,81 @@ mod tests {
         let mut v = vec![pkt(2, 3, &[0, 0, 3])];
         causal_sort(&mut v);
         assert_eq!(v.len(), 1);
+    }
+
+    /// The specification the fast chain-merge must reproduce exactly:
+    /// repeatedly extract the causally minimal remaining packet with the
+    /// smallest `(writer, interval)` key. O(k³) — test oracle only.
+    fn reference_causal_sort(packets: &mut Vec<DiffPacket>) {
+        let mut rest = std::mem::take(packets);
+        while !rest.is_empty() {
+            let mut best: Option<usize> = None;
+            for (i, cand) in rest.iter().enumerate() {
+                let minimal = rest.iter().enumerate().all(|(j, other)| {
+                    j == i || other.vt.causal_cmp(&cand.vt) != Some(Ordering::Less)
+                });
+                if !minimal {
+                    continue;
+                }
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let bk = (rest[b].writer.0, rest[b].interval);
+                        let ck = (cand.writer.0, cand.interval);
+                        if ck < bk {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            let pick = best.expect("happens-before is acyclic");
+            packets.push(rest.remove(pick));
+        }
+    }
+
+    /// Randomized equivalence: simulate writers advancing interleaved
+    /// vector times (each interval bumps the writer's own component and
+    /// may observe others — exactly the shape the protocol produces),
+    /// then check the fast sort against the reference on shuffled input.
+    #[test]
+    fn causal_sort_matches_reference_on_simulated_histories() {
+        let mut rng = svm_sim::SplitMix64::new(0xCA05_A150);
+        for case in 0..200 {
+            let writers = 1 + (rng.next_u64() % 6) as usize;
+            let mut clocks: Vec<Vec<u32>> = vec![vec![0; writers]; writers];
+            let mut intervals = vec![0u32; writers];
+            let mut packets: Vec<DiffPacket> = Vec::new();
+            let steps = 1 + (rng.next_u64() % 24) as usize;
+            for _ in 0..steps {
+                let w = (rng.next_u64() % writers as u64) as usize;
+                // Sometimes observe another writer's clock first (an
+                // acquire), creating cross-chain happens-before edges.
+                if rng.next_u64().is_multiple_of(2) {
+                    let o = (rng.next_u64() % writers as u64) as usize;
+                    let other = clocks[o].clone();
+                    for (c, &v) in clocks[w].iter_mut().zip(other.iter()) {
+                        *c = (*c).max(v);
+                    }
+                }
+                clocks[w][w] += 1;
+                intervals[w] += 1;
+                packets.push(pkt(w as u16, intervals[w], &clocks[w].clone()));
+            }
+            // Shuffle so arrival order carries no information.
+            for i in (1..packets.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                packets.swap(i, j);
+            }
+            let mut want = packets.clone();
+            reference_causal_sort(&mut want);
+            let mut got = packets;
+            causal_sort(&mut got);
+            let key = |v: &[DiffPacket]| -> Vec<(u16, u32)> {
+                v.iter().map(|p| (p.writer.0, p.interval)).collect()
+            };
+            assert_eq!(key(&got), key(&want), "case {case} diverged");
+        }
     }
 }

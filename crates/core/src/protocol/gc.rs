@@ -43,7 +43,7 @@ impl SvmAgent {
         for &p in &live_pages {
             // The "last writer": the writer of the causally latest stored
             // interval (ties by lowest id) validates the page.
-            let mut candidates: Vec<(NodeId, u32, crate::vt::VectorTime)> = Vec::new();
+            let mut candidates: Vec<(NodeId, u32, std::rc::Rc<crate::vt::VectorTime>)> = Vec::new();
             for (i, n) in self.nodes_st.iter().enumerate() {
                 if let Some(ds) = n.diff_store.get(&p) {
                     if let Some(last) = ds.last() {
@@ -166,11 +166,17 @@ impl SvmAgent {
             }
         }
 
-        // Free every diff store.
+        // Free every diff store, returning sole-owned diff buffers to the
+        // thread-local pools (packets still referenced elsewhere just drop).
         for (i, node_cost) in cost.iter_mut().enumerate() {
             let mut freed_diffs = 0u64;
             for (_, ds) in std::mem::take(&mut self.nodes_st[i].diff_store) {
                 freed_diffs += ds.len() as u64;
+                for sd in ds {
+                    if let Ok(d) = std::rc::Rc::try_unwrap(sd.diff) {
+                        d.recycle();
+                    }
+                }
             }
             *node_cost += FREE_PER_DIFF * freed_diffs;
             let cur = self.counters[i].mem.diff_bytes;

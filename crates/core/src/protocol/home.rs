@@ -143,13 +143,14 @@ impl SvmAgent {
 
     fn reply_home_page(&mut self, ctx: &mut MCtx<'_>, h: NodeId, page: PageNum, to: NodeId) {
         let st = &mut self.nodes_st[h.index()].pages[page.0 as usize];
-        let data = st
-            .buf
-            .as_mut()
-            // INVARIANT: a home page materializes at first touch and the master
-            // copy is never dropped (homes are exempt from GC).
-            .expect("home holds the master copy")
-            .to_vec();
+        let data = std::rc::Rc::new(
+            st.buf
+                .as_mut()
+                // INVARIANT: a home page materializes at first touch and the master
+                // copy is never dropped (homes are exempt from GC).
+                .expect("home holds the master copy")
+                .to_pooled_vec(),
+        );
         let applied = st.applied.to_vec();
         self.send_or_local(
             ctx,
@@ -197,6 +198,9 @@ impl SvmAgent {
             }
             st.applied.raise(writer, interval);
         }
+        // The diff dies here (homes apply and discard, Section 2.3); hand
+        // its buffers back to the pools.
+        diff.recycle();
         self.counters[idx].diffs_applied += 1;
         self.after_home_progress(ctx, h, page);
     }
@@ -258,7 +262,7 @@ impl SvmAgent {
         ctx: &mut MCtx<'_>,
         r: NodeId,
         page: PageNum,
-        data: Vec<u8>,
+        data: std::rc::Rc<Vec<u8>>,
         applied: Vec<(NodeId, u32)>,
     ) {
         let overhead = ctx.cost().handler_overhead;
@@ -274,6 +278,10 @@ impl SvmAgent {
             st.applied.merge_max(&applied);
             st.seen.merge_max(&applied);
             st.access = Access::ReadOnly;
+        }
+        // Last reference (no retransmit copy in flight): pool the buffer.
+        if let Ok(v) = std::rc::Rc::try_unwrap(data) {
+            svm_mem::pool::put_bytes(v);
         }
         debug_assert!(matches!(
             // INVARIANT: a HomeReply only arrives for the outstanding fault that

@@ -61,6 +61,9 @@ impl SvmAgent {
         let auto_update = self.cfg.protocol.auto_update();
         let ps = self.page_size();
         let mut task_items: Vec<(PageNum, Diff)> = Vec::new();
+        // One shared clock for every diff this interval stores: the store
+        // and the packets built from it alias it instead of cloning.
+        let stored_vt = Rc::new(rec_vt.clone());
 
         for p in dirty {
             // Write-protect the page so the next write re-twins, and
@@ -104,6 +107,7 @@ impl SvmAgent {
                     let cur = unsafe { st.buf.as_ref().expect("dirty page has a copy").bytes() };
                     Diff::create(&twin, cur)
                 };
+                svm_mem::pool::put_bytes(twin);
                 self.nodes_st[idx].pending_diffs.insert((p.0, interval));
                 task_items.push((p, diff));
                 continue;
@@ -124,7 +128,8 @@ impl SvmAgent {
                 let cur = unsafe { st.buf.as_ref().expect("dirty page has a copy").bytes() };
                 Rc::new(Diff::create(&twin, cur))
             };
-            self.finish_diff(ctx, n, p, interval, &rec_vt, diff, ProcKind::Cpu);
+            svm_mem::pool::put_bytes(twin);
+            self.finish_diff(ctx, n, p, interval, &stored_vt, diff, ProcKind::Cpu);
         }
 
         if !task_items.is_empty() {
@@ -151,7 +156,7 @@ impl SvmAgent {
         n: NodeId,
         page: PageNum,
         interval: u32,
-        vt: &VectorTime,
+        vt: &Rc<VectorTime>,
         diff: Rc<Diff>,
         _on: ProcKind,
     ) {
@@ -167,7 +172,7 @@ impl SvmAgent {
                 .or_default()
                 .push(StoredDiff {
                     interval,
-                    vt: vt.clone(),
+                    vt: Rc::clone(vt),
                     diff,
                 });
         } else {
@@ -189,7 +194,7 @@ impl SvmAgent {
                 self.data_proc(home)
             };
             if self.cfg.protocol.auto_update() && home != n {
-                let extra_msgs = (diff.runs().len() as u64).saturating_sub(1);
+                let extra_msgs = (diff.run_count() as u64).saturating_sub(1);
                 let extra_bytes = diff.payload_bytes() * 2 / 5;
                 ctx.record_traffic(
                     n,
@@ -223,6 +228,7 @@ impl SvmAgent {
     ) {
         let idx = n.index();
         let ps = self.page_size();
+        let vt = Rc::new(vt);
         for (p, diff) in items {
             let create = ctx.cost().diff_create(ps);
             ctx.work(create, Category::Protocol);

@@ -506,10 +506,11 @@ impl SvmAgent {
             self.recovery.stats.rehomed_pages += 1;
             // The new home's copy becomes the master: in-place writes, no
             // twin (matching a home page's steady state).
-            let had_twin = self.nodes_st[c.index()].pages[pg as usize]
-                .twin
-                .take()
-                .is_some();
+            let taken = self.nodes_st[c.index()].pages[pg as usize].twin.take();
+            let had_twin = taken.is_some();
+            if let Some(t) = taken {
+                svm_mem::pool::put_bytes(t);
+            }
             if had_twin && !auto {
                 self.counters[c.index()].mem.twins(-ps);
             }

@@ -106,8 +106,10 @@ impl PageState {
 pub struct StoredDiff {
     /// The interval that produced it.
     pub interval: u32,
-    /// Its vector time (for causal ordering at appliers).
-    pub vt: VectorTime,
+    /// Its vector time (for causal ordering at appliers). Shared: every
+    /// page dirtied by the same interval stores the same clock, and the
+    /// packets built from the store alias it rather than cloning.
+    pub vt: Rc<VectorTime>,
     /// The updates.
     pub diff: Rc<Diff>,
 }

@@ -120,9 +120,15 @@ enum AppState<R> {
     Crashed,
 }
 
+/// Work segments a processor is currently burning through. Stored as a
+/// flat `Vec` plus a cursor (rather than a `VecDeque` popped from the
+/// front) so the vector survives intact and can be recycled through
+/// [`Machine::put_seg_vec`] when the service drains.
 struct Service {
     cat: Category,
-    segments: VecDeque<(SimDuration, Category)>,
+    segments: Vec<(SimDuration, Category)>,
+    /// Index of the next segment to run; `segments[..cursor]` are done.
+    cursor: usize,
 }
 
 /// One unit of pending processor service: a delivered message or an expired
@@ -286,7 +292,17 @@ pub struct Machine<A: Agent> {
     /// progress: explore-state digests include it to tell two program
     /// points with coincidentally equal protocol state apart.
     progress: Vec<u64>,
+    /// Recycled segment vectors for [`Ctx`]; every handler invocation takes
+    /// one here instead of allocating. Bounded, and empty in legacy-engine
+    /// mode (see `svm_sim::engine`).
+    seg_pool: Vec<Vec<(SimDuration, Category)>>,
 }
+
+/// Upper bound on recycled segment vectors held by a machine. Two
+/// processors per node can be in service at once, but the pool only needs
+/// to cover the handlers in flight between recycle points; the vectors are
+/// a few elements each, so a small cap loses nothing.
+const MAX_POOLED_SEG_VECS: usize = 64;
 
 /// A structured failure reported by the protocol instead of a panic. The
 /// run halts at the point of failure and the errors ride out through
@@ -376,7 +392,26 @@ impl<A: Agent> Machine<A> {
             halted: false,
             explore: None,
             progress: vec![0; n],
+            seg_pool: Vec::new(),
         }
+    }
+
+    /// Hand out a recycled (cleared) segment vector, or a fresh one.
+    fn take_seg_vec(&mut self) -> Vec<(SimDuration, Category)> {
+        self.seg_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained segment vector to the pool. No-op in legacy-engine
+    /// mode, when the vector never grew, or when the pool is full.
+    fn put_seg_vec(&mut self, mut v: Vec<(SimDuration, Category)>) {
+        if v.capacity() == 0
+            || self.seg_pool.len() >= MAX_POOLED_SEG_VECS
+            || svm_sim::engine::legacy_engine()
+        {
+            return;
+        }
+        v.clear();
+        self.seg_pool.push(v);
     }
 
     /// Install a fault-injection plan for this run. An inactive
@@ -1071,13 +1106,13 @@ impl<A: Agent> World<A> {
         if segments.is_empty() {
             // No work: the processor never became busy. For a cpu, the app
             // may have been asked to wait for nothing — release it.
+            self.machine.put_seg_vec(segments);
             self.end_service(sched, at);
             return;
         }
-        let mut segs: VecDeque<_> = segments.into();
-        let (d, cat) = segs.pop_front().expect("nonempty");
+        let (d, cat) = segments[0];
         if at.kind == ProcKind::CoProc {
-            let total: SimDuration = segs.iter().map(|(d, _)| *d).sum::<SimDuration>() + d;
+            let total: SimDuration = segments.iter().map(|(d, _)| *d).sum();
             self.machine.coproc_busy[i] += total;
         }
         let unit = match at.kind {
@@ -1086,7 +1121,8 @@ impl<A: Agent> World<A> {
         };
         unit.service = Some(Service {
             cat,
-            segments: segs,
+            segments,
+            cursor: 1,
         });
         if at.kind == ProcKind::Cpu {
             self.machine.refresh(i, now);
@@ -1109,7 +1145,8 @@ impl<A: Agent> World<A> {
             ProcKind::CoProc => &mut self.machine.nodes[i].coproc,
         };
         let service = unit.service.as_mut().expect("segment_done without service");
-        if let Some((d, cat)) = service.segments.pop_front() {
+        if let Some(&(d, cat)) = service.segments.get(service.cursor) {
+            service.cursor += 1;
             service.cat = cat;
             if at.kind == ProcKind::Cpu {
                 self.machine.refresh(i, now);
@@ -1123,7 +1160,9 @@ impl<A: Agent> World<A> {
             });
             return;
         }
-        unit.service = None;
+        if let Some(done) = unit.service.take() {
+            self.machine.put_seg_vec(done.segments);
+        }
         if at.kind == ProcKind::Cpu {
             self.machine.refresh(i, now);
         }
@@ -1169,13 +1208,14 @@ pub struct Ctx<'a, A: Agent> {
 impl<'a, A: Agent> Ctx<'a, A> {
     fn new(sched: &'a mut Scheduler<World<A>>, machine: &'a mut Machine<A>, at: ProcAddr) -> Self {
         let base = sched.now();
+        let segments = machine.take_seg_vec();
         Ctx {
             sched,
             machine,
             at,
             base,
             cursor: SimDuration::ZERO,
-            segments: Vec::new(),
+            segments,
         }
     }
 

@@ -6,6 +6,14 @@
 //! here: homeless LRC stores and serves them until garbage collection,
 //! home-based LRC ships them to the page's home, which applies and discards
 //! them (paper Section 2.3).
+//!
+//! Storage is flattened: one contiguous payload buffer plus a small index of
+//! `(offset, len)` run descriptors, instead of one `Vec<u8>` per run. Real
+//! diffs average ~20 runs, so the flat form turns ~21 allocations per diff
+//! into at most two — and zero once the buffers cycle through the
+//! thread-local [`pool`](crate::pool) via [`Diff::recycle`].
+
+use crate::pool;
 
 /// Diff granularity in bytes: one 32-bit word, as in TreadMarks.
 pub const DIFF_WORD: usize = 4;
@@ -15,19 +23,57 @@ const RUN_HEADER_BYTES: usize = 8;
 /// Wire/heap overhead charged per diff (page id, writer, interval, count).
 const DIFF_HEADER_BYTES: usize = 16;
 
-/// One maximal run of modified bytes.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Run {
+/// One run's descriptor: byte offset within the page and payload length.
+/// The payload itself lives in the diff's shared data buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct RunRef {
+    offset: u32,
+    len: u32,
+}
+
+/// A borrowed view of one maximal run of modified bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunView<'a> {
     /// Byte offset of the run within the page (word-aligned).
     pub offset: u32,
     /// The new bytes (length is a multiple of [`DIFF_WORD`]).
-    pub bytes: Vec<u8>,
+    pub bytes: &'a [u8],
 }
 
 /// A set of page updates: the difference between a twin and a dirty copy.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Diff {
-    runs: Vec<Run>,
+    runs: Vec<RunRef>,
+    /// Concatenated run payloads, in run order.
+    data: Vec<u8>,
+}
+
+thread_local! {
+    /// Pool of run-descriptor vectors, mirroring [`pool`]'s byte pool.
+    static RUN_POOL: std::cell::RefCell<Vec<Vec<RunRef>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+const MAX_POOLED_RUN_VECS: usize = 64;
+
+fn take_runs() -> Vec<RunRef> {
+    if pool::legacy_engine() {
+        return Vec::new();
+    }
+    RUN_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn put_runs(mut v: Vec<RunRef>) {
+    if pool::legacy_engine() || v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    RUN_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < MAX_POOLED_RUN_VECS {
+            p.push(v);
+        }
+    });
 }
 
 impl Diff {
@@ -43,10 +89,12 @@ impl Diff {
         let words = twin.len() / DIFF_WORD;
         // Hot path: this runs once per twin at every release/flush. Scan
         // two words per step via u64 loads (XOR + halves test classifies
-        // both words at once) and pre-size the run vector — real diffs are
+        // both words at once) and reuse pooled buffers — real diffs are
         // a handful of runs. The runs produced are exactly those of the
         // word-at-a-time scan (pinned by chunk_equivalence tests).
-        let mut runs = Vec::with_capacity(8);
+        let mut runs = take_runs();
+        runs.reserve(8);
+        let mut data = pool::take_bytes();
 
         // Do 32-bit words `w` and `w+1` differ? Little-endian load order
         // puts word `w` in the low half regardless of host endianness.
@@ -101,12 +149,36 @@ impl Diff {
             if w + 1 == words && word_differs(twin, current, w) {
                 w += 1;
             }
-            runs.push(Run {
+            let bytes = &current[start * DIFF_WORD..w * DIFF_WORD];
+            runs.push(RunRef {
                 offset: (start * DIFF_WORD) as u32,
-                bytes: current[start * DIFF_WORD..w * DIFF_WORD].to_vec(),
+                len: bytes.len() as u32,
             });
+            data.extend_from_slice(bytes);
         }
-        Diff { runs }
+        Diff { runs, data }
+    }
+
+    /// Build a diff from explicit `(offset, bytes)` runs.
+    ///
+    /// For tests and wire decoding; no validation beyond flattening, so
+    /// malformed runs (overlapping, out of bounds) surface later through
+    /// [`Diff::apply`]'s named bounds check.
+    pub fn from_runs<I, B>(runs: I) -> Diff
+    where
+        I: IntoIterator<Item = (u32, B)>,
+        B: AsRef<[u8]>,
+    {
+        let mut d = Diff::default();
+        for (offset, bytes) in runs {
+            let bytes = bytes.as_ref();
+            d.runs.push(RunRef {
+                offset,
+                len: bytes.len() as u32,
+            });
+            d.data.extend_from_slice(bytes);
+        }
+        d
     }
 
     /// Apply the diff onto `dst` (a page copy).
@@ -116,7 +188,7 @@ impl Diff {
     /// Panics with a named "diff run out of bounds" message if any run
     /// falls outside `dst`.
     pub fn apply(&self, dst: &mut [u8]) {
-        for run in &self.runs {
+        for run in self.runs() {
             let off = run.offset as usize;
             let end = off.checked_add(run.bytes.len());
             assert!(
@@ -125,7 +197,7 @@ impl Diff {
                 run.bytes.len(),
                 dst.len()
             );
-            dst[off..off + run.bytes.len()].copy_from_slice(&run.bytes);
+            dst[off..off + run.bytes.len()].copy_from_slice(run.bytes);
         }
     }
 
@@ -134,14 +206,23 @@ impl Diff {
         self.runs.is_empty()
     }
 
-    /// The runs, for inspection.
-    pub fn runs(&self) -> &[Run] {
-        &self.runs
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The runs, for inspection, in page order.
+    pub fn runs(&self) -> Runs<'_> {
+        Runs {
+            diff: self,
+            next: 0,
+            cursor: 0,
+        }
     }
 
     /// Total bytes of changed data.
     pub fn payload_bytes(&self) -> usize {
-        self.runs.iter().map(|r| r.bytes.len()).sum()
+        self.data.len()
     }
 
     /// Bytes this diff occupies on the wire (payload + encoding headers).
@@ -154,7 +235,10 @@ impl Diff {
 
     /// Bytes this diff occupies in memory while stored (paper Table 6).
     pub fn heap_bytes(&self) -> usize {
-        // Stored form ~ wire form plus allocator/run-vector overhead.
+        // Stored form ~ wire form plus allocator/run-vector overhead. The
+        // charge is part of the model (it drives the GC threshold, hence
+        // virtual time), so it is pinned to the historical per-run layout
+        // even though the flat storage is cheaper in host memory.
         DIFF_HEADER_BYTES + self.runs.len() * (RUN_HEADER_BYTES + 16) + self.payload_bytes()
     }
 
@@ -172,7 +256,7 @@ impl Diff {
         // a corrupt run fails with a named panic instead of a raw slice
         // error deep in `apply`.
         for d in [self, later] {
-            for run in &d.runs {
+            for run in d.runs() {
                 let end = (run.offset as usize).checked_add(run.bytes.len());
                 assert!(
                     end.is_some_and(|e| e <= page_size),
@@ -183,20 +267,25 @@ impl Diff {
             }
         }
         // Materialize both diffs on a scratch page and rebuild runs from the
-        // union of touched words. Diffs are short-lived; not a hot path.
+        // union of touched words. Diffs are short-lived; not a hot path, but
+        // the scratch page still comes from the pool.
         let words = page_size / DIFF_WORD;
         let mut touched = vec![false; words];
-        let mut cur = vec![0u8; page_size];
+        let mut cur = pool::take_bytes();
+        cur.resize(page_size, 0);
         for d in [self, later] {
             d.apply(&mut cur);
             for run in &d.runs {
                 let first = run.offset as usize / DIFF_WORD;
-                for t in &mut touched[first..first + run.bytes.len() / DIFF_WORD] {
+                for t in &mut touched[first..first + run.len as usize / DIFF_WORD] {
                     *t = true;
                 }
             }
         }
-        let mut runs = Vec::new();
+        let mut out = Diff {
+            runs: take_runs(),
+            data: pool::take_bytes(),
+        };
         let mut w = 0;
         while w < words {
             if !touched[w] {
@@ -207,14 +296,56 @@ impl Diff {
             while w < words && touched[w] {
                 w += 1;
             }
-            runs.push(Run {
+            let bytes = &cur[start * DIFF_WORD..w * DIFF_WORD];
+            out.runs.push(RunRef {
                 offset: (start * DIFF_WORD) as u32,
-                bytes: cur[start * DIFF_WORD..w * DIFF_WORD].to_vec(),
+                len: bytes.len() as u32,
             });
+            out.data.extend_from_slice(bytes);
         }
-        Diff { runs }
+        pool::put_bytes(cur);
+        out
+    }
+
+    /// Return this diff's buffers to the thread-local pools.
+    ///
+    /// Call where a diff's lifetime provably ends (the home after applying
+    /// a flush, garbage collection); plain `drop` remains correct anywhere
+    /// else.
+    pub fn recycle(self) {
+        put_runs(self.runs);
+        pool::put_bytes(self.data);
     }
 }
+
+/// Iterator over a diff's runs as [`RunView`]s.
+pub struct Runs<'a> {
+    diff: &'a Diff,
+    next: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for Runs<'a> {
+    type Item = RunView<'a>;
+
+    fn next(&mut self) -> Option<RunView<'a>> {
+        let r = self.diff.runs.get(self.next)?;
+        let bytes = &self.diff.data[self.cursor..self.cursor + r.len as usize];
+        self.next += 1;
+        self.cursor += r.len as usize;
+        Some(RunView {
+            offset: r.offset,
+            bytes,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.diff.runs.len() - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Runs<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -241,8 +372,9 @@ mod tests {
         let twin = vec![0u8; 64];
         let cur = page(&[(10, 5)], 64);
         let d = Diff::create(&twin, &cur);
-        assert_eq!(d.runs().len(), 1);
-        assert_eq!(d.runs()[0].offset, 8, "run must be word-aligned");
+        assert_eq!(d.run_count(), 1);
+        let run = d.runs().next().expect("one run");
+        assert_eq!(run.offset, 8, "run must be word-aligned");
         assert_eq!(d.payload_bytes(), 4);
         let mut out = twin.clone();
         d.apply(&mut out);
@@ -254,8 +386,8 @@ mod tests {
         let twin = vec![0u8; 64];
         let cur = page(&[(4, 1), (8, 2), (12, 3)], 64);
         let d = Diff::create(&twin, &cur);
-        assert_eq!(d.runs().len(), 1);
-        assert_eq!(d.runs()[0].offset, 4);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs().next().expect("one run").offset, 4);
         assert_eq!(d.payload_bytes(), 12);
     }
 
@@ -264,7 +396,7 @@ mod tests {
         let twin = vec![0u8; 64];
         let cur = page(&[(0, 1), (32, 2)], 64);
         let d = Diff::create(&twin, &cur);
-        assert_eq!(d.runs().len(), 2);
+        assert_eq!(d.run_count(), 2);
     }
 
     #[test]
@@ -275,6 +407,41 @@ mod tests {
         let mut out = twin.clone();
         d.apply(&mut out);
         assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn from_runs_matches_create() {
+        let twin = vec![0u8; 64];
+        let cur = page(&[(0, 1), (32, 2)], 64);
+        let created = Diff::create(&twin, &cur);
+        let rebuilt = Diff::from_runs(
+            created
+                .runs()
+                .map(|r| (r.offset, r.bytes.to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(created, rebuilt);
+    }
+
+    #[test]
+    fn runs_iterator_is_exact_size() {
+        let twin = vec![0u8; 64];
+        let d = Diff::create(&twin, &page(&[(0, 1), (32, 2)], 64));
+        let mut it = d.runs();
+        assert_eq!(it.len(), 2);
+        it.next();
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_do_not_leak_into_new_diffs() {
+        crate::pool::set_thread_engine(false);
+        let twin = vec![0u8; 64];
+        let d = Diff::create(&twin, &page(&[(0, 9), (32, 9)], 64));
+        d.recycle();
+        let empty = Diff::create(&twin, &twin);
+        assert!(empty.is_empty());
+        assert_eq!(empty.payload_bytes(), 0);
     }
 
     #[test]
@@ -317,12 +484,7 @@ mod tests {
     /// An oversized run (e.g. from a corrupt wire decode) must fail the
     /// named bounds check, not a raw slice panic inside the copy.
     fn oversized() -> Diff {
-        Diff {
-            runs: vec![Run {
-                offset: 60,
-                bytes: vec![1, 2, 3, 4, 5, 6, 7, 8],
-            }],
-        }
+        Diff::from_runs([(60u32, vec![1u8, 2, 3, 4, 5, 6, 7, 8])])
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod addr;
 pub mod diff;
 pub mod heap;
 pub mod page;
+pub mod pool;
 
 pub use addr::{GAddr, Geometry, PageNum};
 pub use diff::Diff;

@@ -153,6 +153,14 @@ impl PageBuf {
         // SAFETY: `&mut self` proves exclusive access.
         unsafe { self.bytes() }.to_vec()
     }
+
+    /// Like [`PageBuf::to_vec`], but the vector comes from the thread-local
+    /// [`pool`](crate::pool) — the hot-path form for twins and reply
+    /// payloads.
+    pub fn to_pooled_vec(&mut self) -> Vec<u8> {
+        // SAFETY: `&mut self` proves exclusive access.
+        crate::pool::take_bytes_copy(unsafe { self.bytes() })
+    }
 }
 
 impl Clone for PageBuf {

@@ -42,8 +42,7 @@ fn reference_runs(twin: &[u8], current: &[u8]) -> Vec<(u32, Vec<u8>)> {
 fn assert_identical(twin: &[u8], current: &[u8]) {
     let got: Vec<(u32, Vec<u8>)> = Diff::create(twin, current)
         .runs()
-        .iter()
-        .map(|r| (r.offset, r.bytes.clone()))
+        .map(|r| (r.offset, r.bytes.to_vec()))
         .collect();
     let want = reference_runs(twin, current);
     assert_eq!(

@@ -107,7 +107,6 @@ fn apply_touches_only_covered_words() {
             d.apply(&mut out);
             let covered: std::collections::HashSet<usize> = d
                 .runs()
-                .iter()
                 .flat_map(|r| {
                     let s = r.offset as usize / DIFF_WORD;
                     s..s + r.bytes.len() / DIFF_WORD

@@ -1,0 +1,38 @@
+//! Engine-mode knob: pooled/inline (default) vs legacy allocation behavior.
+//!
+//! The scheduler stores small event closures inline in slab slots instead
+//! of boxing each one. `SVM_LEGACY_ENGINE=1` (or [`set_thread_engine`])
+//! forces the legacy one-`Box`-per-event behavior, which the
+//! sequential-equivalence suite uses to pin that the optimization never
+//! changes virtual-time results. `svm-mem` has the same knob for its buffer
+//! pools (`svm_mem::pool`); the two crates are independent, so the flag is
+//! duplicated rather than shared.
+
+use std::cell::Cell;
+
+thread_local! {
+    static LEGACY: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Whether this thread runs the legacy (allocation-per-event) engine.
+///
+/// Resolved once per thread from `SVM_LEGACY_ENGINE` ("1" or any
+/// non-empty value other than "0" enables it), unless overridden first by
+/// [`set_thread_engine`].
+pub fn legacy_engine() -> bool {
+    LEGACY.with(|l| match l.get() {
+        Some(v) => v,
+        None => {
+            let v = std::env::var("SVM_LEGACY_ENGINE").is_ok_and(|s| !s.is_empty() && s != "0");
+            l.set(Some(v));
+            v
+        }
+    })
+}
+
+/// Force this thread onto the legacy (`true`) or optimized (`false`)
+/// engine, overriding the environment. Takes effect for schedulers
+/// constructed afterwards.
+pub fn set_thread_engine(legacy: bool) {
+    LEGACY.with(|l| l.set(Some(legacy)));
+}

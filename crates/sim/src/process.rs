@@ -4,18 +4,21 @@
 //! A simulated process is an ordinary Rust closure (for us: a Splash-2-style
 //! program against the SVM API) running on its own OS thread. It interacts
 //! with the simulation exclusively by calling [`ProcessPort::request`], which
-//! sends a request to the kernel and blocks until the kernel resumes it with
+//! hands a request to the kernel and blocks until the kernel resumes it with
 //! a response. The kernel side ([`SimProcess::resume`]) symmetrically blocks
 //! until the process either issues its next request or finishes.
 //!
 //! The discipline is *strict alternation*: at any moment either the kernel
-//! thread or exactly one process thread is running, never both. The mpsc
-//! channels provide the necessary happens-before edges, so state handed back
-//! and forth (see [`crate::HandoffCell`]) is properly synchronized.
+//! thread or exactly one process thread is running, never both. The exchange
+//! is a single `Mutex`+`Condvar` rendezvous cell — one request and one
+//! response slot — rather than a pair of mpsc channels: strict alternation
+//! means the slots never hold more than one value, the mutex provides the
+//! happens-before edges (see [`crate::HandoffCell`]), and no allocation
+//! happens per request (mpsc nodes were a measurable slice of the sweep's
+//! allocation count).
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Once;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::thread::JoinHandle;
 
 /// Panic payload used to unwind a process body when the kernel has shut
@@ -50,14 +53,50 @@ pub enum Yielded<Req> {
     Finished(Result<(), String>),
 }
 
+/// The rendezvous cell both endpoints share.
+struct Chan<Req, Resp> {
+    state: Mutex<ChanState<Req, Resp>>,
+    cv: Condvar,
+}
+
+struct ChanState<Req, Resp> {
+    /// Process -> kernel: the pending yield (at most one, by alternation).
+    yielded: Option<Yielded<Req>>,
+    /// Kernel -> process: the pending resume value (at most one).
+    resp: Option<Resp>,
+    /// The kernel endpoint was dropped; a parked process must unwind.
+    kernel_gone: bool,
+}
+
+impl<Req, Resp> Chan<Req, Resp> {
+    fn new() -> Self {
+        Chan {
+            state: Mutex::new(ChanState {
+                yielded: None,
+                resp: None,
+                kernel_gone: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ChanState<Req, Resp>> {
+        // A poisoned lock means a thread panicked *while holding it*; both
+        // endpoints only panic outside the critical sections, so this is
+        // unreachable in practice — and the state is plain data anyway.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// The process-side endpoint: issue requests, receive responses.
 pub struct ProcessPort<Req, Resp> {
-    req_tx: Sender<Yielded<Req>>,
-    resume_rx: Receiver<Resp>,
+    chan: Arc<Chan<Req, Resp>>,
 }
 
 impl<Req, Resp> ProcessPort<Req, Resp> {
-    /// Send `req` to the kernel and block until it responds.
+    /// Hand `req` to the kernel and block until it responds.
     ///
     /// # Panics
     ///
@@ -66,20 +105,43 @@ impl<Req, Resp> ProcessPort<Req, Resp> {
     /// payload is a private marker the panic hook recognizes, so this
     /// expected teardown produces no stderr noise.
     pub fn request(&self, req: Req) -> Resp {
-        if self.req_tx.send(Yielded::Request(req)).is_err() {
+        let mut st = self.chan.lock();
+        if st.kernel_gone {
+            drop(st);
             panic::panic_any(KernelShutdown);
         }
-        match self.resume_rx.recv() {
-            Ok(resp) => resp,
-            Err(_) => panic::panic_any(KernelShutdown),
+        debug_assert!(st.yielded.is_none(), "request while a yield is pending");
+        st.yielded = Some(Yielded::Request(req));
+        self.chan.cv.notify_all();
+        loop {
+            // Take a response even if the kernel dropped right after
+            // sending it — the resume must not be lost.
+            if let Some(resp) = st.resp.take() {
+                return resp;
+            }
+            if st.kernel_gone {
+                drop(st);
+                panic::panic_any(KernelShutdown);
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// Post the final yield (body returned or panicked).
+    fn finish(&self, outcome: Result<(), String>) {
+        let mut st = self.chan.lock();
+        st.yielded = Some(Yielded::Finished(outcome));
+        self.chan.cv.notify_all();
     }
 }
 
 /// The kernel-side endpoint of a simulated process.
 pub struct SimProcess<Req, Resp> {
-    req_rx: Receiver<Yielded<Req>>,
-    resume_tx: Option<Sender<Resp>>,
+    chan: Arc<Chan<Req, Resp>>,
     thread: Option<JoinHandle<()>>,
     /// True while the process is blocked in `request()` awaiting a resume.
     awaiting_resume: bool,
@@ -100,12 +162,8 @@ where
     F: FnOnce(&ProcessPort<Req, Resp>) + Send + 'static,
 {
     install_quiet_shutdown_hook();
-    let (req_tx, req_rx) = channel::<Yielded<Req>>();
-    let (resume_tx, resume_rx) = channel::<Resp>();
-    let port = ProcessPort {
-        req_tx: req_tx.clone(),
-        resume_rx,
-    };
+    let chan = Arc::new(Chan::new());
+    let port = ProcessPort { chan: chan.clone() };
     let thread = std::thread::Builder::new()
         .name(name.to_string())
         .spawn(move || {
@@ -116,14 +174,13 @@ where
                 // the `Box` itself into `dyn Any` and the downcasts would miss.
                 Err(payload) => Err(panic_message(&*payload)),
             };
-            // If the kernel is gone this send fails, which is fine: nobody is
-            // listening and the thread just exits.
-            let _ = req_tx.send(Yielded::Finished(outcome));
+            // Posted even when the kernel is gone: its Drop waits for this
+            // final yield before joining the thread.
+            port.finish(outcome);
         })
         .expect("failed to spawn simulated process thread");
     SimProcess {
-        req_rx,
-        resume_tx: Some(resume_tx),
+        chan,
         thread: Some(thread),
         awaiting_resume: false,
         finished: false,
@@ -170,10 +227,18 @@ impl<Req, Resp> SimProcess<Req, Resp> {
             "process {} is awaiting a resume, not running",
             self.name
         );
-        let y = self
-            .req_rx
-            .recv()
-            .expect("process thread vanished without yielding");
+        let mut st = self.chan.lock();
+        let y = loop {
+            if let Some(y) = st.yielded.take() {
+                break y;
+            }
+            st = self
+                .chan
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        };
+        drop(st);
         match &y {
             Yielded::Request(_) => self.awaiting_resume = true,
             Yielded::Finished(_) => self.finished = true,
@@ -193,27 +258,44 @@ impl<Req, Resp> SimProcess<Req, Resp> {
             self.name
         );
         self.awaiting_resume = false;
-        self.resume_tx
-            .as_ref()
-            .expect("resume channel already closed")
-            .send(resp)
-            .expect("process thread vanished");
+        {
+            let mut st = self.chan.lock();
+            debug_assert!(st.resp.is_none(), "resume while a response is pending");
+            st.resp = Some(resp);
+            self.chan.cv.notify_all();
+        }
         self.next_yield()
     }
 }
 
 impl<Req, Resp> Drop for SimProcess<Req, Resp> {
     fn drop(&mut self) {
-        // Closing the resume channel unblocks a parked process: its recv()
-        // fails, request() panics, catch_unwind catches, the thread exits.
-        self.resume_tx = None;
+        // Flagging the kernel gone unblocks a parked process: its wait loop
+        // observes the flag, request() panics, catch_unwind catches, and the
+        // thread posts its final yield and exits.
+        {
+            let mut st = self.chan.lock();
+            st.kernel_gone = true;
+            self.chan.cv.notify_all();
+        }
         if let Some(t) = self.thread.take() {
-            // Drain any final yield so the thread's send doesn't block (it
-            // can't: the channel is unbounded) and join it.
-            while let Ok(_y) = self.req_rx.recv() {
-                // Discard; we only care that the thread reaches its end.
-                if matches!(_y, Yielded::Finished(_)) {
-                    break;
+            if !self.finished {
+                // Wait for the final yield so the thread is past its last
+                // rendezvous, then join it.
+                let mut st = self.chan.lock();
+                loop {
+                    match st.yielded.take() {
+                        Some(Yielded::Finished(_)) => break,
+                        // Discard a stale request; we only care that the
+                        // thread reaches its end.
+                        _ => {
+                            st = self
+                                .chan
+                                .cv
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    }
                 }
             }
             let _ = t.join();
@@ -277,6 +359,16 @@ mod tests {
         });
         let _ = p.next_yield();
         drop(p); // must not hang
+    }
+
+    #[test]
+    fn drop_before_first_yield_shuts_down_cleanly() {
+        // The body may still be running (not yet parked) when the kernel
+        // drops; Drop must wait out its first rendezvous without hanging.
+        let p = spawn_process("early-drop", |port: &ProcessPort<u8, u8>| {
+            let _ = port.request(0); // never serviced
+        });
+        drop(p);
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! The deterministic event scheduler.
 //!
-//! Events are boxed closures over a caller-supplied world type `W`. Two
-//! events at the same instant fire in the order they were scheduled (a
-//! monotonically increasing sequence number breaks ties), so runs are fully
-//! reproducible. Events can be cancelled by [`EventId`]; cancellation is
-//! implemented as a tombstone set consulted at pop time.
+//! Events are closures over a caller-supplied world type `W`. Two events at
+//! the same instant fire in the order they were scheduled (a monotonically
+//! increasing sequence number breaks ties), so runs are fully reproducible.
+//! Events can be cancelled by [`EventId`]; cancellation is implemented as a
+//! tombstone set consulted at pop time.
+//!
+//! Storage is allocation-free on the hot path: closures small enough for a
+//! slot's inline buffer are written in place into a slab of reusable slots,
+//! and the priority queue is an index heap of `(time, seq, slot)` keys over
+//! that slab. Only oversized closures fall back to a `Box`. The
+//! `SVM_LEGACY_ENGINE` knob ([`crate::engine`]) forces the historical
+//! box-per-event behavior; both paths pop in identical `(time, seq)` order,
+//! which the sequential-equivalence suite pins.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
+use std::mem::MaybeUninit;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -45,28 +53,125 @@ impl EventId {
 
 type EventFn<W> = Box<dyn FnOnce(&mut Scheduler<W>, &mut W)>;
 
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+/// Inline closure capacity per slot. Sized for the protocol's send/timer
+/// closures (message + addressing captures); the occasional bigger closure
+/// takes the `Box` fallback.
+const INLINE_BYTES: usize = 192;
+/// Maximum supported alignment for inline closures.
+const INLINE_ALIGN: usize = 16;
+
+/// The inline closure buffer. `#[repr(align(16))]` so any closure whose
+/// alignment is <= [`INLINE_ALIGN`] can be written at offset 0.
+#[repr(align(16))]
+#[derive(Copy, Clone)]
+struct InlineBuf([MaybeUninit<u8>; INLINE_BYTES]);
+
+impl InlineBuf {
+    fn ptr(&mut self) -> *mut u8 {
+        self.0.as_mut_ptr() as *mut u8
+    }
 }
 
-// The heap is a max-heap; invert the ordering so the earliest (time, seq)
-// pops first.
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
+/// Type-erased storage for one event closure.
+enum Stored<W> {
+    /// The closure's bytes live in `buf`; `call` reads it out (taking
+    /// ownership) and runs it, `drop_fn` drops it in place without running.
+    Inline {
+        buf: InlineBuf,
+        call: unsafe fn(*mut u8, &mut Scheduler<W>, &mut W),
+        drop_fn: unsafe fn(*mut u8),
+    },
+    /// Fallback for closures too big (or too aligned) for the buffer, and
+    /// the only representation under the legacy engine.
+    Boxed(EventFn<W>),
+    /// Free slot (the closure was taken or never set).
+    Empty,
+}
+
+impl<W> Stored<W> {
+    fn new<F: FnOnce(&mut Scheduler<W>, &mut W) + 'static>(f: F, legacy: bool) -> Stored<W> {
+        if legacy
+            || std::mem::size_of::<F>() > INLINE_BYTES
+            || std::mem::align_of::<F>() > INLINE_ALIGN
+        {
+            return Stored::Boxed(Box::new(f));
+        }
+        unsafe fn call_impl<W, F: FnOnce(&mut Scheduler<W>, &mut W)>(
+            p: *mut u8,
+            s: &mut Scheduler<W>,
+            w: &mut W,
+        ) {
+            // SAFETY: `p` points at a valid `F` written by `Stored::new`;
+            // `read` takes ownership and the caller never touches the bytes
+            // again (invoke consumes the `Stored`).
+            let f = unsafe { (p as *mut F).read() };
+            f(s, w)
+        }
+        unsafe fn drop_impl<F>(p: *mut u8) {
+            // SAFETY: `p` points at a valid `F` that will not be read again.
+            unsafe { std::ptr::drop_in_place(p as *mut F) }
+        }
+        let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_BYTES]);
+        // SAFETY: size and alignment were checked above; the buffer is
+        // exclusively ours and uninitialized.
+        unsafe { (buf.ptr() as *mut F).write(f) };
+        Stored::Inline {
+            buf,
+            call: call_impl::<W, F>,
+            drop_fn: drop_impl::<F>,
+        }
+    }
+
+    /// Run the stored closure. Consumes the storage (inline closures are
+    /// moved out of the buffer; moving the buffer itself is fine because
+    /// Rust values relocate by plain memcpy).
+    fn invoke(self, sched: &mut Scheduler<W>, world: &mut W) {
+        match self {
+            Stored::Inline { mut buf, call, .. } => {
+                // SAFETY: `buf` holds the closure written at schedule time;
+                // `call` reads it out exactly once. `self` is consumed, so no
+                // second read or drop can happen.
+                unsafe { call(buf.ptr(), sched, world) }
+            }
+            Stored::Boxed(f) => f(sched, world),
+            Stored::Empty => unreachable!("invoke on empty slot"),
+        }
+    }
+
+    /// Drop the stored closure without running it (cancelled events,
+    /// scheduler teardown).
+    fn dispose(self) {
+        match self {
+            Stored::Inline {
+                mut buf, drop_fn, ..
+            } => {
+                // SAFETY: `buf` holds a valid closure that was never invoked;
+                // `self` is consumed, so this is the single drop.
+                unsafe { drop_fn(buf.ptr()) }
+            }
+            Stored::Boxed(f) => drop(f),
+            Stored::Empty => {}
+        }
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+struct Slot<W> {
+    /// Sequence number of the occupying event (debug cross-check).
+    seq: u64,
+    stored: Stored<W>,
 }
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+/// Index-heap key: total order is `(at, seq)`; `slot` locates the closure.
+#[derive(Copy, Clone)]
+struct HeapKey {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapKey {
+    fn order(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
@@ -94,9 +199,16 @@ impl<W> Ord for Entry<W> {
 pub struct Scheduler<W> {
     now: SimTime,
     next_seq: u64,
-    queue: BinaryHeap<Entry<W>>,
+    /// Min-heap of `(at, seq)` keys into `slots`.
+    heap: Vec<HeapKey>,
+    /// Slab of event slots; freed slots are reused via `free`.
+    slots: Vec<Slot<W>>,
+    free: Vec<u32>,
     cancelled: BTreeSet<u64>,
     executed: u64,
+    /// Box every closure (historical allocation behavior); see
+    /// [`crate::engine`].
+    legacy: bool,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -111,9 +223,12 @@ impl<W> Scheduler<W> {
         Scheduler {
             now: SimTime::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             cancelled: BTreeSet::new(),
             executed: 0,
+            legacy: crate::engine::legacy_engine(),
         }
     }
 
@@ -129,7 +244,7 @@ impl<W> Scheduler<W> {
 
     /// Number of pending (non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// Schedule `f` at absolute time `at`.
@@ -149,11 +264,21 @@ impl<W> Scheduler<W> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        let stored = Stored::new(f, self.legacy);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                debug_assert!(matches!(sl.stored, Stored::Empty), "free slot occupied");
+                sl.seq = seq;
+                sl.stored = stored;
+                s
+            }
+            None => {
+                self.slots.push(Slot { seq, stored });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap_push(HeapKey { at, seq, slot });
         EventId(seq)
     }
 
@@ -181,16 +306,21 @@ impl<W> Scheduler<W> {
 
     /// Run a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        while let Some(entry) = self.queue.pop() {
+        while let Some(key) = self.heap_pop() {
+            let slot = &mut self.slots[key.slot as usize];
+            debug_assert_eq!(slot.seq, key.seq, "slot/heap desync");
+            let stored = std::mem::replace(&mut slot.stored, Stored::Empty);
+            self.free.push(key.slot);
             // Tombstones are rare (only cancelled timers); skip the set
             // probe entirely on the common empty-set path.
-            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
+            if !self.cancelled.is_empty() && self.cancelled.remove(&key.seq) {
+                stored.dispose();
                 continue;
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            debug_assert!(key.at >= self.now, "time went backwards");
+            self.now = key.at;
             self.executed += 1;
-            (entry.f)(self, world);
+            stored.invoke(self, world);
             return true;
         }
         false
@@ -207,14 +337,18 @@ impl<W> Scheduler<W> {
     /// (the first event past the limit stays queued).
     pub fn run_until(&mut self, world: &mut W, limit: SimTime) -> bool {
         loop {
-            match self.queue.peek() {
+            match self.heap.first() {
                 None => return true,
                 Some(e) if e.at > limit => {
                     // Skip over tombstoned entries past the limit check.
                     if !self.cancelled.is_empty() && self.cancelled.contains(&e.seq) {
-                        let seq = e.seq;
-                        self.queue.pop();
-                        self.cancelled.remove(&seq);
+                        let key = *e;
+                        self.heap_pop();
+                        self.cancelled.remove(&key.seq);
+                        let slot = &mut self.slots[key.slot as usize];
+                        debug_assert_eq!(slot.seq, key.seq, "slot/heap desync");
+                        std::mem::replace(&mut slot.stored, Stored::Empty).dispose();
+                        self.free.push(key.slot);
                         continue;
                     }
                     return false;
@@ -223,6 +357,63 @@ impl<W> Scheduler<W> {
                     self.step(world);
                 }
             }
+        }
+    }
+
+    // --- index heap (min-heap on `(at, seq)`) -------------------------------
+
+    fn heap_push(&mut self, key: HeapKey) {
+        self.heap.push(key);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].order() < self.heap[parent].order() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<HeapKey> {
+        let len = self.heap.len();
+        if len == 0 {
+            return None;
+        }
+        self.heap.swap(0, len - 1);
+        let key = self.heap.pop();
+        let len = self.heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < len && self.heap[r].order() < self.heap[l].order() {
+                r
+            } else {
+                l
+            };
+            if self.heap[child].order() < self.heap[i].order() {
+                self.heap.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
+        key
+    }
+}
+
+impl<W> Drop for Scheduler<W> {
+    fn drop(&mut self) {
+        // Undrained events (halted runs, crash teardown) hold captured
+        // resources; dispose them explicitly since inline closures have no
+        // automatic drop.
+        for slot in self.slots.drain(..) {
+            slot.stored.dispose();
         }
     }
 }
@@ -338,5 +529,85 @@ mod tests {
         assert_eq!(s.pending(), 2);
         s.cancel(a);
         assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_after_events_fire() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut w = 0u32;
+        for round in 0..100u32 {
+            s.after(SimDuration::from_nanos(u64::from(round) + 1), |_, w| {
+                *w += 1
+            });
+            s.step(&mut w);
+        }
+        assert_eq!(w, 100);
+        assert!(
+            s.slots.len() <= 2,
+            "sequential schedule/fire must recycle slots, used {}",
+            s.slots.len()
+        );
+    }
+
+    /// Captured resources must be released in every path: run, cancel, and
+    /// scheduler drop with events still queued.
+    #[test]
+    fn closures_are_dropped_exactly_once() {
+        use std::rc::Rc;
+        let token = Rc::new(());
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut w = 0u32;
+        let t1 = token.clone();
+        s.after(SimDuration::from_nanos(1), move |_, w: &mut u32| {
+            let _k = &t1;
+            *w += 1;
+        });
+        let t2 = token.clone();
+        let id = s.after(SimDuration::from_nanos(2), move |_, _w: &mut u32| {
+            let _k = &t2;
+        });
+        s.cancel(id);
+        let t3 = token.clone();
+        s.after(SimDuration::from_nanos(3), move |_, _w: &mut u32| {
+            let _k = &t3;
+        });
+        s.step(&mut w); // fires t1
+        assert_eq!(w, 1);
+        drop(s); // t2 (tombstoned) and t3 (queued) disposed at teardown
+        assert_eq!(Rc::strong_count(&token), 1, "all captures released");
+    }
+
+    /// Closures bigger than the inline buffer take the box fallback and
+    /// still run correctly.
+    #[test]
+    fn oversized_closures_fall_back_to_box() {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut w = 0u64;
+        let big = [7u64; 64]; // 512 bytes of captures, > INLINE_BYTES
+        s.after(SimDuration::from_nanos(1), move |_, w: &mut u64| {
+            *w = big.iter().sum();
+        });
+        s.run(&mut w);
+        assert_eq!(w, 7 * 64);
+    }
+
+    /// The legacy engine (forced boxing) pops in the identical order.
+    #[test]
+    fn legacy_engine_matches_order() {
+        let run = |legacy: bool| {
+            crate::engine::set_thread_engine(legacy);
+            let mut s: Scheduler<Vec<u32>> = Scheduler::new();
+            let mut w = Vec::new();
+            for i in 0..20u32 {
+                let t = u64::from(i % 5) + 1;
+                s.after(SimDuration::from_nanos(t), move |_, w: &mut Vec<u32>| {
+                    w.push(i)
+                });
+            }
+            s.run(&mut w);
+            crate::engine::set_thread_engine(false);
+            w
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -19,6 +19,8 @@ const TARGET_SAMPLE_NANOS: u128 = 4_000_000;
 pub struct Harness {
     filter: Option<String>,
     rows: Vec<(String, Stats)>,
+    samples: usize,
+    target_sample_nanos: u128,
 }
 
 struct Stats {
@@ -41,9 +43,21 @@ impl Harness {
     /// for callers that are not bench binaries (e.g. `svm-bench --bin
     /// perf` embeds the micro-benches in its baseline).
     pub fn new(filter: Option<String>) -> Self {
+        Harness::with_budget(filter, SAMPLES, TARGET_SAMPLE_NANOS)
+    }
+
+    /// A harness with an explicit measurement budget: `samples` timed
+    /// samples of roughly `target_sample_nanos` each. The default budget
+    /// (`Harness::new`) favors stable medians for interactive `cargo
+    /// bench`; embedded callers that mainly track allocation counts (the
+    /// `perf` baseline's micro stage) pass a smaller budget so the
+    /// benches' own allocations don't swamp the stage's counter.
+    pub fn with_budget(filter: Option<String>, samples: usize, target_sample_nanos: u128) -> Self {
         Harness {
             filter,
             rows: Vec::new(),
+            samples: samples.max(1),
+            target_sample_nanos: target_sample_nanos.max(1),
         }
     }
 
@@ -57,19 +71,22 @@ impl Harness {
         if !self.selected(name) {
             return None;
         }
-        // Warm up and estimate a single-call cost.
+        // Warm up and estimate a single-call cost. The warm-up window
+        // scales with the sample budget so a reduced-budget harness does
+        // not spend most of its calls here.
+        let warmup_millis = (self.target_sample_nanos / 1_000_000).clamp(2, 10);
         let per_call = {
             let t = Instant::now();
             let mut calls = 0u64;
-            while t.elapsed().as_millis() < 10 {
+            while t.elapsed().as_millis() < warmup_millis {
                 black_box(f());
                 calls += 1;
             }
             (t.elapsed().as_nanos() / calls.max(1) as u128).max(1)
         };
-        let iters = ((TARGET_SAMPLE_NANOS / per_call) as u64).clamp(1, 10_000_000);
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let iters = ((self.target_sample_nanos / per_call) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
             let t = Instant::now();
             for _ in 0..iters {
                 black_box(f());
@@ -97,9 +114,9 @@ impl Harness {
             black_box(routine(input));
             t.elapsed().as_nanos().max(1)
         };
-        let iters = ((TARGET_SAMPLE_NANOS / per_call) as u64).clamp(1, 100_000);
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let iters = ((self.target_sample_nanos / per_call) as u64).clamp(1, 100_000);
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
             let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
             let t = Instant::now();
             for input in inputs {
